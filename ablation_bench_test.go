@@ -1,0 +1,142 @@
+// Ablation benchmarks quantifying the design choices DESIGN.md calls out:
+//
+//   - the NFA engine's byte→starts index (vs testing every always-on start
+//     per symbol — the difference that makes 33k-subgraph ClamAV simulable);
+//   - the DFA engine's byte-equivalence-class compression (vs full 256-way
+//     transition rows);
+//   - the DFA engine's dead-component elision (vs stepping confirmed-dead
+//     patterns forever);
+//   - prefix-merge compression's effect on NFA scan cost.
+//
+// Run: go test -bench=Ablation -benchmem
+package automatazoo_test
+
+import (
+	"testing"
+
+	"automatazoo/internal/automata"
+	"automatazoo/internal/dfa"
+	"automatazoo/internal/sim"
+	"automatazoo/internal/transform"
+)
+
+func ablationCorpus(b *testing.B) (*automata.Automaton, []byte) {
+	b.Helper()
+	a, segs := getBench(b, "ClamAV")
+	return a, segs[0]
+}
+
+func BenchmarkAblationStartIndexOn(b *testing.B) {
+	a, input := ablationCorpus(b)
+	e := sim.New(a)
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Run(input)
+	}
+}
+
+func BenchmarkAblationStartIndexOff(b *testing.B) {
+	a, input := ablationCorpus(b)
+	e := sim.NewWithOptions(a, sim.Options{NoStartIndex: true})
+	// The naive path is orders of magnitude slower; scan a slice so the
+	// bench finishes, and scale SetBytes accordingly.
+	input = input[:len(input)/16]
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Run(input)
+	}
+}
+
+func BenchmarkAblationByteClassesOn(b *testing.B) {
+	a, input := ablationCorpus(b)
+	e, err := dfa.New(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Run(input)
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Run(input)
+	}
+}
+
+func BenchmarkAblationByteClassesOff(b *testing.B) {
+	a, input := ablationCorpus(b)
+	e, err := dfa.NewWithOptions(a, dfa.Options{NoByteClasses: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Run(input)
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Run(input)
+	}
+	b.ReportMetric(float64(e.Stats().DFAStates), "dfa-states")
+}
+
+func rfAblationSetup(b *testing.B) (*automata.Automaton, []byte) {
+	b.Helper()
+	a, segs := getBench(b, "Random Forest B")
+	return a, segs[0]
+}
+
+func BenchmarkAblationDeadElisionOn(b *testing.B) {
+	a, seg := rfAblationSetup(b)
+	e, err := dfa.New(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Reset()
+	e.Run(seg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Run(seg)
+	}
+}
+
+func BenchmarkAblationDeadElisionOff(b *testing.B) {
+	a, seg := rfAblationSetup(b)
+	e, err := dfa.NewWithOptions(a, dfa.Options{NoDeadElision: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Reset()
+	e.Run(seg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Run(seg)
+	}
+}
+
+func BenchmarkAblationPrefixMergeScanBefore(b *testing.B) {
+	a, segs := getBench(b, "Entity Resolution")
+	e := sim.New(a)
+	b.SetBytes(int64(len(segs[0])))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Run(segs[0])
+	}
+}
+
+func BenchmarkAblationPrefixMergeScanAfter(b *testing.B) {
+	a, segs := getBench(b, "Entity Resolution")
+	merged, _ := transform.PrefixMerge(a)
+	e := sim.New(merged)
+	b.SetBytes(int64(len(segs[0])))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Run(segs[0])
+	}
+}

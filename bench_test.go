@@ -1,0 +1,345 @@
+// Benchmarks regenerating the performance-bearing content of every table
+// and figure in the paper's evaluation, plus engine microbenchmarks.
+//
+//	Table I   — BenchmarkTable1/<benchmark>: NFA-engine scan throughput of
+//	            each suite benchmark on its standard input
+//	Table II  — BenchmarkTable2Variant<A|B|C>: automata classification cost
+//	            per sample for each Random Forest variant
+//	Table III — BenchmarkTable3<engine><variant>: SPM plain vs padded on
+//	            the NFA and DFA engines
+//	Table IV  — BenchmarkTable4<engine>: Random Forest classification via
+//	            DFA automata, native trees, and native multi-threaded
+//	Fig 1/T V — BenchmarkFig1ProfilePoint: one profile measurement
+//
+// Run: go test -bench=. -benchmem
+package automatazoo_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"automatazoo/internal/automata"
+	"automatazoo/internal/core"
+	"automatazoo/internal/dfa"
+	"automatazoo/internal/mesh"
+	"automatazoo/internal/prefilter"
+	"automatazoo/internal/regex"
+	"automatazoo/internal/rf"
+	"automatazoo/internal/sim"
+	"automatazoo/internal/spm"
+	"automatazoo/internal/transform"
+)
+
+// benchConfig keeps bench-time generation fast while preserving topology.
+var benchConfig = core.Config{Scale: 0.02, InputBytes: 100_000, Seed: 0xa20}
+
+type builtBench struct {
+	a    *automata.Automaton
+	segs [][]byte
+	err  error
+}
+
+var (
+	builtMu sync.Mutex
+	built   = map[string]*builtBench{}
+)
+
+func getBench(b *testing.B, name string) (*automata.Automaton, [][]byte) {
+	b.Helper()
+	builtMu.Lock()
+	defer builtMu.Unlock()
+	if cached, ok := built[name]; ok {
+		if cached.err != nil {
+			b.Fatal(cached.err)
+		}
+		return cached.a, cached.segs
+	}
+	bench, err := core.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, segs, err := bench.Build(benchConfig)
+	built[name] = &builtBench{a: a, segs: segs, err: err}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a, segs
+}
+
+func benchScan(b *testing.B, name string) {
+	a, segs := getBench(b, name)
+	e := sim.New(a)
+	var total int64
+	for _, s := range segs {
+		total += int64(len(s))
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range segs {
+			e.Reset()
+			e.Run(s)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for _, bench := range core.All() {
+		b.Run(bench.Name, func(b *testing.B) { benchScan(b, bench.Name) })
+	}
+}
+
+// --- Table II ---------------------------------------------------------
+
+var (
+	rfOnce   sync.Once
+	rfModels map[string]*rf.Classifier
+	rfSample []byte
+	rfErr    error
+)
+
+func rfSetup(b *testing.B) {
+	b.Helper()
+	rfOnce.Do(func() {
+		ds := rf.GenerateDataset(2500, 42)
+		train, test := ds.Split(0.8)
+		rfModels = map[string]*rf.Classifier{}
+		for _, v := range []rf.Variant{rf.VariantA, rf.VariantB, rf.VariantC} {
+			m, err := rf.Train(train, v, 7)
+			if err != nil {
+				rfErr = err
+				return
+			}
+			c, err := rf.NewClassifier(m)
+			if err != nil {
+				rfErr = err
+				return
+			}
+			rfModels[v.Name] = c
+		}
+		rfSample = test.Samples[0].Pixels
+	})
+	if rfErr != nil {
+		b.Fatal(rfErr)
+	}
+}
+
+func benchVariant(b *testing.B, name string) {
+	rfSetup(b)
+	c := rfModels[name]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Classify(rfSample)
+	}
+}
+
+func BenchmarkTable2VariantA(b *testing.B) { benchVariant(b, "A") }
+func BenchmarkTable2VariantB(b *testing.B) { benchVariant(b, "B") }
+func BenchmarkTable2VariantC(b *testing.B) { benchVariant(b, "C") }
+
+// --- Table III --------------------------------------------------------
+
+var (
+	spmOnce          sync.Once
+	spmPlain, spmPad *automata.Automaton
+	spmInput         []byte
+	spmErr           error
+)
+
+func spmSetup(b *testing.B) {
+	b.Helper()
+	spmOnce.Do(func() {
+		const filters = 200
+		spmPlain, spmErr = spm.Benchmark(filters, 6, spm.Config{}, 3)
+		if spmErr != nil {
+			return
+		}
+		spmPad, spmErr = spm.Benchmark(filters, 6, spm.Config{Padding: 4}, 3)
+		if spmErr != nil {
+			return
+		}
+		rngPats := make([]spm.Pattern, 0)
+		spmInput = spm.Input(rngPats, 4000, 5, 0, 3)
+	})
+	if spmErr != nil {
+		b.Fatal(spmErr)
+	}
+}
+
+func benchSPMNFA(b *testing.B, a *automata.Automaton) {
+	e := sim.New(a)
+	b.SetBytes(int64(len(spmInput)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Run(spmInput)
+	}
+}
+
+func benchSPMDFA(b *testing.B, a *automata.Automaton) {
+	e, err := dfa.New(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Run(spmInput) // warm transitions
+	b.SetBytes(int64(len(spmInput)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Run(spmInput)
+	}
+}
+
+func BenchmarkTable3VASimPlain(b *testing.B)      { spmSetup(b); benchSPMNFA(b, spmPlain) }
+func BenchmarkTable3VASimPadded(b *testing.B)     { spmSetup(b); benchSPMNFA(b, spmPad) }
+func BenchmarkTable3HyperscanPlain(b *testing.B)  { spmSetup(b); benchSPMDFA(b, spmPlain) }
+func BenchmarkTable3HyperscanPadded(b *testing.B) { spmSetup(b); benchSPMDFA(b, spmPad) }
+
+// --- Table IV ---------------------------------------------------------
+
+var (
+	t4Once    sync.Once
+	t4Model   *rf.Model
+	t4Engine  *dfa.Engine
+	t4Encoded []byte
+	t4Samples []rf.Sample
+	t4Err     error
+)
+
+func t4Setup(b *testing.B) {
+	b.Helper()
+	t4Once.Do(func() {
+		ds := rf.GenerateDataset(2500, 5)
+		train, test := ds.Split(0.8)
+		t4Model, t4Err = rf.Train(train, rf.VariantB, 5)
+		if t4Err != nil {
+			return
+		}
+		a, enc, err := t4Model.BuildAutomaton()
+		if err != nil {
+			t4Err = err
+			return
+		}
+		t4Engine, t4Err = dfa.New(a)
+		if t4Err != nil {
+			return
+		}
+		t4Encoded = enc.Encode(t4Model.FM.Quantize(test.Samples[0].Pixels))
+		t4Engine.Run(t4Encoded) // warm
+		t4Samples = test.Samples
+	})
+	if t4Err != nil {
+		b.Fatal(t4Err)
+	}
+}
+
+func BenchmarkTable4HyperscanClassify(b *testing.B) {
+	t4Setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t4Engine.Reset()
+		t4Engine.Run(t4Encoded)
+	}
+}
+
+func BenchmarkTable4NativeClassify(b *testing.B) {
+	t4Setup(b)
+	s := t4Samples[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t4Model.Predict(s.Pixels)
+	}
+}
+
+func BenchmarkTable4NativeMTBatch(b *testing.B) {
+	t4Setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t4Model.PredictBatch(t4Samples, runtime.GOMAXPROCS(0))
+	}
+	b.ReportMetric(float64(len(t4Samples)), "classifications/op")
+}
+
+// --- Figure 1 / Table V -----------------------------------------------
+
+func BenchmarkFig1ProfilePoint(b *testing.B) {
+	cfg := mesh.ProfileConfig{Filters: 4, InputSymbols: 50_000, Trials: 1, Seed: 0x5eed}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mesh.MeasurePoint(mesh.Hamming, 18, 3, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Toolchain microbenchmarks ----------------------------------------
+
+func BenchmarkRegexCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := regex.Compile(`(GET|POST) \/[a-z]{2,8}\/[a-z0-9]+\.(php|html)`, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrefixMerge(b *testing.B) {
+	a, _ := getBench(b, "CRISPR CasOT")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		transform.PrefixMerge(a)
+	}
+}
+
+func BenchmarkNFAEngineThroughput(b *testing.B) {
+	a, segs := getBench(b, "Snort")
+	e := sim.New(a)
+	b.SetBytes(int64(len(segs[0])))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Run(segs[0])
+	}
+}
+
+// The prefilter pair shares one benchmark (ClamAV) so the speedup of
+// two-stage literal-anchored scanning over plain NFA interpretation is
+// directly readable.
+func BenchmarkPrefilterBaselineNFA(b *testing.B) {
+	a, segs := getBench(b, "ClamAV")
+	e := sim.New(a)
+	b.SetBytes(int64(len(segs[0])))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Run(segs[0])
+	}
+}
+
+func BenchmarkPrefilterThroughput(b *testing.B) {
+	a, segs := getBench(b, "ClamAV")
+	s, err := prefilter.New(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(segs[0])))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Scan(segs[0], nil)
+	}
+}
+
+func BenchmarkDFAEngineThroughput(b *testing.B) {
+	a, segs := getBench(b, "Snort")
+	e, err := dfa.New(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Run(segs[0]) // warm
+	b.SetBytes(int64(len(segs[0])))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Run(segs[0])
+	}
+}

@@ -1,0 +1,379 @@
+// Command azoo drives the AutomataZoo suite: it lists and generates
+// benchmarks, prints Table-I statistics, runs inputs through the engines,
+// and regenerates every table and figure in the paper's evaluation.
+//
+// Usage:
+//
+//	azoo list
+//	azoo stats  -bench "Snort" [-scale 0.05] [-input 200000] [-compress]
+//	azoo run    -bench "ClamAV" [-scale 0.05] [-input 200000] [-engine nfa|dfa]
+//	azoo table1 [-scale 0.05] [-input 200000] [-compress]
+//	azoo table2 [-samples 4000]
+//	azoo table3 [-filters 1719] [-itemsets 20000]
+//	azoo table4 [-samples 4000]
+//	azoo fig1   [-filters 10] [-symbols 1000000] [-trials 10]   (also Table V)
+//	azoo snortrates [-scale 0.2] [-input 400000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"automatazoo/internal/core"
+	"automatazoo/internal/dfa"
+	"automatazoo/internal/experiments"
+	"automatazoo/internal/mesh"
+	"automatazoo/internal/mnrl"
+	"automatazoo/internal/partition"
+	"automatazoo/internal/sim"
+	"automatazoo/internal/spatial"
+	"automatazoo/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "list":
+		err = cmdList()
+	case "stats":
+		err = cmdStats(args)
+	case "run":
+		err = cmdRun(args)
+	case "table1":
+		err = cmdTable1(args)
+	case "table2":
+		err = cmdTable2(args)
+	case "table3":
+		err = cmdTable3(args)
+	case "table4":
+		err = cmdTable4(args)
+	case "fig1", "table5":
+		err = cmdFig1(args)
+	case "snortrates":
+		err = cmdSnortRates(args)
+	case "export":
+		err = cmdExport(args)
+	case "partition":
+		err = cmdPartition(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "azoo:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: azoo <command> [flags]
+commands:
+  list         list the suite's benchmarks
+  stats        Table-I statistics for one benchmark
+  run          run a benchmark's standard input through an engine
+  table1       regenerate Table I (suite statistics)
+  table2       regenerate Table II (Random Forest variants)
+  table3       regenerate Table III (padding overhead)
+  table4       regenerate Table IV (Random Forest throughput)
+  fig1|table5  regenerate Figure 1 and Table V (mesh profiling)
+  snortrates   Section-V Snort report-rate experiment
+  export       write a benchmark automaton as MNRL JSON or Graphviz dot
+  partition    bin-pack a benchmark onto a capacity-limited device`)
+}
+
+func suiteFlags(fs *flag.FlagSet) (*float64, *int, *uint64) {
+	scale := fs.Float64("scale", 0.05, "pattern-count scale (1.0 = paper scale)")
+	input := fs.Int("input", 200_000, "standard input bytes")
+	seed := fs.Uint64("seed", 0xa20, "generator seed")
+	return scale, input, seed
+}
+
+func cmdList() error {
+	fmt.Printf("%-22s %-30s %s\n", "Benchmark", "Domain", "Input")
+	for _, b := range core.All() {
+		fmt.Printf("%-22s %-30s %s\n", b.Name, b.Domain, b.Input)
+	}
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	scale, input, seed := suiteFlags(fs)
+	name := fs.String("bench", "", "benchmark name (see `azoo list`)")
+	compress := fs.Bool("compress", false, "also run prefix-merge compression")
+	fs.Parse(args)
+	b, err := core.ByName(*name)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{Scale: *scale, InputBytes: *input, Seed: *seed}
+	a, segs, err := b.Build(cfg)
+	if err != nil {
+		return err
+	}
+	row := stats.Row{
+		Name: b.Name, Domain: b.Domain, Input: b.Input,
+		Static:  stats.Compute(a),
+		Dynamic: stats.SimulateSegments(a, segs),
+	}
+	if *compress {
+		row.Compression = stats.Compress(a)
+	}
+	fmt.Println(stats.Header())
+	fmt.Println(row.Format())
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	scale, input, seed := suiteFlags(fs)
+	name := fs.String("bench", "", "benchmark name")
+	engine := fs.String("engine", "nfa", "engine: nfa (VASim-like) or dfa (Hyperscan-like)")
+	fs.Parse(args)
+	b, err := core.ByName(*name)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{Scale: *scale, InputBytes: *input, Seed: *seed}
+	a, segs, err := b.Build(cfg)
+	if err != nil {
+		return err
+	}
+	switch *engine {
+	case "nfa":
+		e := sim.New(a)
+		var total sim.Stats
+		for _, seg := range segs {
+			e.Reset()
+			st := e.Run(seg)
+			total.Symbols += st.Symbols
+			total.Reports += st.Reports
+			total.Active += st.Active
+			total.Enabled += st.Enabled
+		}
+		fmt.Printf("%s: %d states, %d symbols, %d reports (%.6f/sym), active set %.2f\n",
+			b.Name, a.NumStates(), total.Symbols, total.Reports,
+			total.ReportRate(), total.ActiveAvg())
+	case "dfa":
+		e, err := dfa.New(a)
+		if err != nil {
+			return err
+		}
+		var symbols, reports int64
+		for _, seg := range segs {
+			e.Reset()
+			st := e.Run(seg)
+			symbols += st.Symbols
+			reports += st.Reports
+		}
+		st := e.Stats()
+		fmt.Printf("%s: %d states, %d symbols, %d reports, %d DFA states, %d fallbacks\n",
+			b.Name, a.NumStates(), symbols, reports, st.DFAStates, st.Fallbacks)
+	default:
+		return fmt.Errorf("unknown engine %q", *engine)
+	}
+	return nil
+}
+
+func cmdTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	scale, input, seed := suiteFlags(fs)
+	compress := fs.Bool("compress", false, "also run prefix-merge compression (slow at large scales)")
+	fs.Parse(args)
+	cfg := core.Config{Scale: *scale, InputBytes: *input, Seed: *seed}
+	rows, err := experiments.TableI(cfg, *compress)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Table I (scale %.3f, input %d bytes)\n", *scale, *input)
+	fmt.Println(stats.Header())
+	for _, r := range rows {
+		fmt.Println(r.Format())
+	}
+	return nil
+}
+
+func cmdTable2(args []string) error {
+	fs := flag.NewFlagSet("table2", flag.ExitOnError)
+	samples := fs.Int("samples", 4000, "dataset size")
+	seed := fs.Uint64("seed", 7, "seed")
+	fs.Parse(args)
+	rows, err := experiments.TableII(*samples, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table II: Random Forest benchmark variant trade-offs")
+	fmt.Printf("%-8s %9s %11s %9s %9s %8s\n",
+		"Variant", "Features", "Max Leaves", "States", "Accuracy", "Runtime")
+	for _, r := range rows {
+		fmt.Printf("%-8s %9d %11d %9d %8.2f%% %7.2fx\n",
+			r.Variant, r.Features, r.MaxLeaves, r.States, r.Accuracy*100, r.RuntimeRel)
+	}
+	return nil
+}
+
+func cmdTable3(args []string) error {
+	fs := flag.NewFlagSet("table3", flag.ExitOnError)
+	filters := fs.Int("filters", 1719, "sequence-matching filters")
+	itemsets := fs.Int("itemsets", 20_000, "input itemsets")
+	seed := fs.Uint64("seed", 3, "seed")
+	fs.Parse(args)
+	rows, err := experiments.TableIII(*filters, *itemsets, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table III: impact of AP-specific padding on CPU engines")
+	fmt.Printf("%-28s %10s %12s %10s\n", "CPU Engine", "6 Wide", "6 Wide Pad", "Overhead")
+	for _, r := range rows {
+		fmt.Printf("%-28s %9.3fs %11.3fs %9.1f%%\n",
+			r.Engine, r.PlainSec, r.PaddedSec, r.OverheadPct)
+	}
+	return nil
+}
+
+func cmdTable4(args []string) error {
+	fs := flag.NewFlagSet("table4", flag.ExitOnError)
+	samples := fs.Int("samples", 4000, "dataset size")
+	seed := fs.Uint64("seed", 5, "seed")
+	fs.Parse(args)
+	rows, err := experiments.TableIV(*samples, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table IV: Random Forest classification throughput")
+	fmt.Printf("%-34s %16s %10s\n", "Engine", "kClass/sec", "Relative")
+	for _, r := range rows {
+		fmt.Printf("%-34s %16.1f %9.1fx\n", r.Engine, r.KClassPerSec, r.Relative)
+	}
+	return nil
+}
+
+func cmdFig1(args []string) error {
+	fs := flag.NewFlagSet("fig1", flag.ExitOnError)
+	filters := fs.Int("filters", 10, "candidate filters per trial")
+	symbols := fs.Int("symbols", 1_000_000, "input symbols per trial")
+	trials := fs.Int("trials", 10, "trials per point")
+	seed := fs.Uint64("seed", 0x5eed, "seed")
+	fs.Parse(args)
+	cfg := mesh.ProfileConfig{Filters: *filters, InputSymbols: *symbols, Trials: *trials, Seed: *seed}
+	rows, err := experiments.Fig1AndTableV(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 1: reports per filter per million symbols vs pattern length")
+	for _, r := range rows {
+		fmt.Printf("%s d=%d:\n", r.Kernel, r.D)
+		for _, p := range r.Curve {
+			fmt.Printf("  l=%-3d %12.3f\n", p.Length, p.ReportsPerMillion)
+		}
+	}
+	fmt.Println("\nTable V: profile-selected variant parameters")
+	fmt.Printf("%-12s %18s %18s %8s\n", "Kernel", "Scoring Dist (d)", "Pattern Len (l)", "Paper")
+	for _, r := range rows {
+		fmt.Printf("%-12s %18d %18d %8d\n", r.Kernel, r.D, r.ChosenL, r.PaperL)
+	}
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	scale, input, seed := suiteFlags(fs)
+	_ = input
+	name := fs.String("bench", "", "benchmark name")
+	format := fs.String("format", "mnrl", "output format: mnrl or dot")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	b, err := core.ByName(*name)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{Scale: *scale, InputBytes: 4096, Seed: *seed}
+	a, _, err := b.Build(cfg)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "mnrl":
+		return mnrl.WriteAutomaton(w, a, b.Name)
+	case "dot":
+		return a.WriteDot(w, b.Name)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}
+
+func cmdPartition(args []string) error {
+	fs := flag.NewFlagSet("partition", flag.ExitOnError)
+	scale, input, seed := suiteFlags(fs)
+	_ = input
+	name := fs.String("bench", "", "benchmark name")
+	device := fs.String("device", "d480", "device model: d480 or reapr")
+	fs.Parse(args)
+	b, err := core.ByName(*name)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{Scale: *scale, InputBytes: 4096, Seed: *seed}
+	a, _, err := b.Build(cfg)
+	if err != nil {
+		return err
+	}
+	var m spatial.Model
+	switch *device {
+	case "d480":
+		m = spatial.MicronD480()
+	case "reapr":
+		m = spatial.REAPR()
+	default:
+		return fmt.Errorf("unknown device %q", *device)
+	}
+	plan, err := partition.Partition(a, m.StateCapacity)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d states on %s\n", b.Name, a.NumStates(), m)
+	fmt.Printf("passes: %d, mean utilization %.1f%%\n", plan.Passes(), plan.Utilization()*100)
+	fmt.Printf("effective throughput: %.1f MB/s (vs %.1f MB/s unpartitioned)\n",
+		plan.EffectiveThroughput(m.SymbolsPerSec(0))/1e6, m.SymbolsPerSec(0)/1e6)
+	return nil
+}
+
+func cmdSnortRates(args []string) error {
+	fs := flag.NewFlagSet("snortrates", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.2, "ruleset scale")
+	input := fs.Int("input", 400_000, "traffic bytes")
+	seed := fs.Uint64("seed", 9, "seed")
+	fs.Parse(args)
+	rows, err := experiments.SnortRates(*scale, *input, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Section V: Snort rule filtering vs report rate")
+	fmt.Printf("%-34s %8s %10s %14s %8s\n", "Ruleset", "Rules", "Reports", "Reports/byte", "vs prev")
+	prev := 0.0
+	for i, r := range rows {
+		rel := "-"
+		if i > 0 && r.ReportRate > 0 {
+			rel = fmt.Sprintf("%.1fx", prev/r.ReportRate)
+		}
+		fmt.Printf("%-34s %8d %10d %14.6f %8s\n",
+			r.Mode, r.Rules, r.Reports, r.ReportRate, rel)
+		prev = r.ReportRate
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+// Package automatazoo is a from-scratch Go reproduction of "AutomataZoo: A
+// Modern Automata Processing Benchmark Suite" (Wadden et al., IISWC 2018).
+//
+// The repository implements the complete software stack behind the paper:
+// a homogeneous (ANML-style) automata model with counter elements, a
+// VASim-equivalent active-set NFA simulation engine, a Hyperscan-proxy
+// lazy-DFA engine, a PCRE-subset regex compiler, bit-level automata with
+// 8-striding, the standard automata transformations (prefix-merge
+// compression, widening), the 25 benchmarks of the paper's Table I across
+// 13 application domains, and experiment harnesses that regenerate every
+// table and figure in the paper's evaluation.
+//
+// Entry points:
+//
+//   - cmd/azoo — CLI for generating benchmarks and rerunning experiments
+//   - internal/core — the suite registry (benchmarks + standard inputs)
+//   - internal/experiments — Table I–V, Figure 1, and the Snort experiment
+//   - examples/ — runnable programs built on the toolkit
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results versus the paper.
+package automatazoo

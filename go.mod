@@ -1,0 +1,3 @@
+module automatazoo
+
+go 1.22

@@ -1,0 +1,208 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+
+	"automatazoo/internal/charset"
+)
+
+// Builder constructs automata incrementally. It is not safe for concurrent
+// use. Build freezes the graph into an immutable Automaton; the builder can
+// keep being extended afterwards (Build copies).
+type Builder struct {
+	table   *charset.Table
+	css     []charset.Handle
+	flags   []uint8
+	report  []int32
+	succ    [][]StateID
+	counter map[StateID]Counter
+	edges   int
+}
+
+// NewBuilder returns an empty builder with a fresh charset table.
+func NewBuilder() *Builder {
+	return &Builder{table: charset.NewTable(), counter: map[StateID]Counter{}}
+}
+
+// NewBuilderWithTable returns an empty builder sharing (and extending) an
+// existing charset table; transformation passes use this to keep handles
+// stable across derived automata.
+func NewBuilderWithTable(t *charset.Table) *Builder {
+	return &Builder{table: t, counter: map[StateID]Counter{}}
+}
+
+// Table exposes the builder's charset table.
+func (b *Builder) Table() *charset.Table { return b.table }
+
+// NumStates returns the number of states added so far.
+func (b *Builder) NumStates() int { return len(b.css) }
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return b.edges }
+
+// AddSTE adds a state with the given character class and start type and
+// returns its ID.
+func (b *Builder) AddSTE(cs charset.Set, start StartType) StateID {
+	id := StateID(len(b.css))
+	b.css = append(b.css, b.table.Intern(cs))
+	b.flags = append(b.flags, uint8(start)<<flagStartShift)
+	b.report = append(b.report, 0)
+	b.succ = append(b.succ, nil)
+	return id
+}
+
+// AddCounter adds a counter element with the given target and mode and
+// returns its ID. Counters have no character class and no start type.
+func (b *Builder) AddCounter(target uint32, mode CounterMode) StateID {
+	id := StateID(len(b.css))
+	b.css = append(b.css, b.table.Intern(charset.Set{}))
+	b.flags = append(b.flags, flagCounter)
+	b.report = append(b.report, 0)
+	b.succ = append(b.succ, nil)
+	b.counter[id] = Counter{Target: target, Mode: mode}
+	return id
+}
+
+// SetReport marks state id as reporting with the given code.
+func (b *Builder) SetReport(id StateID, code int32) {
+	b.flags[id] |= flagReport
+	b.report[id] = code
+}
+
+// ClearReport removes the reporting flag from state id.
+func (b *Builder) ClearReport(id StateID) {
+	b.flags[id] &^= flagReport
+	b.report[id] = 0
+}
+
+// SetStart changes the start type of state id.
+func (b *Builder) SetStart(id StateID, start StartType) {
+	b.flags[id] = b.flags[id]&^flagStartMask | uint8(start)<<flagStartShift
+}
+
+// SetClass replaces the character class of state id.
+func (b *Builder) SetClass(id StateID, cs charset.Set) {
+	b.css[id] = b.table.Intern(cs)
+}
+
+// Class returns the current character class of state id.
+func (b *Builder) Class(id StateID) charset.Set { return b.table.Set(b.css[id]) }
+
+// Start returns the current start type of state id.
+func (b *Builder) Start(id StateID) StartType {
+	return StartType((b.flags[id] & flagStartMask) >> flagStartShift)
+}
+
+// IsReport reports whether state id currently reports.
+func (b *Builder) IsReport(id StateID) bool { return b.flags[id]&flagReport != 0 }
+
+// ReportCode returns the current report code of state id.
+func (b *Builder) ReportCode(id StateID) int32 { return b.report[id] }
+
+// AddEdge adds a directed edge from→to. Duplicate edges are coalesced at
+// Build time.
+func (b *Builder) AddEdge(from, to StateID) {
+	b.succ[from] = append(b.succ[from], to)
+	b.edges++
+}
+
+// Succ returns the current (unfrozen, possibly duplicate-containing)
+// successor list of state id.
+func (b *Builder) Succ(id StateID) []StateID { return b.succ[id] }
+
+// Merge appends all states of other into b, returning the ID offset that
+// was added to every state of other. Report codes are preserved; pass a
+// codeShift to relocate them into a caller-managed code space.
+func (b *Builder) Merge(other *Automaton, codeShift int32) StateID {
+	off := StateID(len(b.css))
+	n := other.NumStates()
+	for i := 0; i < n; i++ {
+		id := StateID(i)
+		switch other.Kind(id) {
+		case KindCounter:
+			cfg, _ := other.CounterConfig(id)
+			b.AddCounter(cfg.Target, cfg.Mode)
+		default:
+			b.AddSTE(other.Class(id), other.Start(id))
+		}
+		if other.IsReport(id) {
+			b.SetReport(off+id, other.ReportCode(id)+codeShift)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for _, t := range other.Succ(StateID(i)) {
+			b.AddEdge(off+StateID(i), off+t)
+		}
+	}
+	return off
+}
+
+// Build validates and freezes the graph. It returns an error if any edge
+// endpoint is out of range or a counter has a zero target. States with
+// empty character classes are permitted (they simply never match); mesh
+// boundary cells and soft-reconfiguration padding rely on this.
+func (b *Builder) Build() (*Automaton, error) {
+	n := StateID(len(b.css))
+	for from, ss := range b.succ {
+		for _, to := range ss {
+			if to >= n {
+				return nil, fmt.Errorf("automata: edge %d->%d out of range (n=%d)", from, to, n)
+			}
+		}
+	}
+	for id, c := range b.counter {
+		if c.Target == 0 {
+			return nil, fmt.Errorf("automata: counter %d has zero target", id)
+		}
+	}
+	a := &Automaton{
+		table:    b.table,
+		css:      append([]charset.Handle(nil), b.css...),
+		flags:    append([]uint8(nil), b.flags...),
+		report:   append([]int32(nil), b.report...),
+		counters: make(map[StateID]Counter, len(b.counter)),
+	}
+	for id, c := range b.counter {
+		a.counters[id] = c
+	}
+	// Freeze edges into CSR, deduplicating successors.
+	a.edgeOff = make([]uint32, n+1)
+	var flat []StateID
+	seen := map[StateID]struct{}{}
+	for i := StateID(0); i < n; i++ {
+		a.edgeOff[i] = uint32(len(flat))
+		ss := b.succ[i]
+		if len(ss) == 0 {
+			continue
+		}
+		clear(seen)
+		uniq := make([]StateID, 0, len(ss))
+		for _, t := range ss {
+			if _, dup := seen[t]; !dup {
+				seen[t] = struct{}{}
+				uniq = append(uniq, t)
+			}
+		}
+		sort.Slice(uniq, func(x, y int) bool { return uniq[x] < uniq[y] })
+		flat = append(flat, uniq...)
+	}
+	a.edgeOff[n] = uint32(len(flat))
+	a.edges = flat
+	for i := StateID(0); i < n; i++ {
+		if a.Start(i) != StartNone {
+			a.starts = append(a.starts, i)
+		}
+	}
+	return a, nil
+}
+
+// MustBuild is Build but panics on error; for use by generators whose input
+// is program-constructed and cannot legitimately fail.
+func (b *Builder) MustBuild() *Automaton {
+	a, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

@@ -1,0 +1,68 @@
+package automata
+
+// Components returns the weakly-connected components of the automaton
+// (treating edges as undirected), as a slice of component sizes plus a
+// per-state component index. Components correspond to the paper's
+// "subgraphs": distinct patterns/filters within one benchmark.
+func (a *Automaton) Components() (sizes []int, comp []int32) {
+	n := a.NumStates()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	pred := a.Reverse()
+	var stack []StateID
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		c := int32(len(sizes))
+		size := 0
+		stack = append(stack[:0], StateID(s))
+		comp[s] = c
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			size++
+			for _, t := range a.Succ(v) {
+				if comp[t] < 0 {
+					comp[t] = c
+					stack = append(stack, t)
+				}
+			}
+			for _, t := range pred[v] {
+				if comp[t] < 0 {
+					comp[t] = c
+					stack = append(stack, t)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	return sizes, comp
+}
+
+// ReachableFromStarts returns the set of states reachable (following edges
+// forward) from any start state, as a boolean slice.
+func (a *Automaton) ReachableFromStarts() []bool {
+	n := a.NumStates()
+	seen := make([]bool, n)
+	var stack []StateID
+	for _, s := range a.starts {
+		if !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range a.Succ(v) {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return seen
+}

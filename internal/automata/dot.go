@@ -1,0 +1,45 @@
+package automata
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDot renders the automaton in Graphviz dot format, for debugging and
+// documentation of small automata. Start states are drawn as boxes,
+// reporting states are doubled, counters are diamonds.
+func (a *Automaton) WriteDot(w io.Writer, name string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n", name); err != nil {
+		return err
+	}
+	for i := 0; i < a.NumStates(); i++ {
+		id := StateID(i)
+		shape := "ellipse"
+		label := a.Class(id).String()
+		switch {
+		case a.Kind(id) == KindCounter:
+			shape = "diamond"
+			cfg, _ := a.CounterConfig(id)
+			label = fmt.Sprintf("cnt:%d", cfg.Target)
+		case a.Start(id) != StartNone:
+			shape = "box"
+		}
+		peripheries := 1
+		if a.IsReport(id) {
+			peripheries = 2
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [shape=%s,peripheries=%d,label=%q];\n",
+			id, shape, peripheries, fmt.Sprintf("%d:%s", id, label)); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < a.NumStates(); i++ {
+		for _, t := range a.Succ(StateID(i)) {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", i, t); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

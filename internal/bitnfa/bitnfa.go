@@ -1,0 +1,465 @@
+// Package bitnfa implements bit-level homogeneous automata and the
+// 8-striding transformation that converts them to byte-level automata
+// (Section IX of the paper). Bit-level automata are the natural medium for
+// sub-byte patterns — file-format bit-fields (e.g. the MS-DOS timestamp in
+// a PKZip header) and nibble-level malware signatures — and 8-striding
+// makes them executable by ordinary byte-oriented engines.
+//
+// A bit state matches input bit 0, bit 1, or either. Patterns must be
+// byte-aligned: every path from a start state to a reporting state must
+// have a length that is a multiple of 8 bits, so that reports coincide
+// with byte boundaries (Stride8 verifies this dynamically and fails
+// otherwise).
+package bitnfa
+
+import (
+	"fmt"
+	"sort"
+
+	"automatazoo/internal/automata"
+	"automatazoo/internal/charset"
+)
+
+// BitClass says which bit values a state matches.
+type BitClass uint8
+
+const (
+	// MatchZero matches the 0 bit.
+	MatchZero BitClass = 1 << iota
+	// MatchOne matches the 1 bit.
+	MatchOne
+	// MatchAny matches either bit.
+	MatchAny = MatchZero | MatchOne
+)
+
+func (c BitClass) matches(bit byte) bool {
+	if bit == 0 {
+		return c&MatchZero != 0
+	}
+	return c&MatchOne != 0
+}
+
+// StateID names a bit-automaton state.
+type StateID = uint32
+
+// Automaton is a mutable bit-level automaton. Start states are enabled at
+// every byte boundary (bit offsets ≡ 0 mod 8): bit-level patterns in this
+// suite describe byte-aligned file structures.
+type Automaton struct {
+	class  []BitClass
+	start  []bool
+	report []bool
+	code   []int32
+	succ   [][]StateID
+}
+
+// New returns an empty bit automaton.
+func New() *Automaton { return &Automaton{} }
+
+// NumStates returns the number of states.
+func (a *Automaton) NumStates() int { return len(a.class) }
+
+// AddState adds a state with the given bit class; start marks it enabled at
+// every byte boundary.
+func (a *Automaton) AddState(c BitClass, start bool) StateID {
+	id := StateID(len(a.class))
+	a.class = append(a.class, c)
+	a.start = append(a.start, start)
+	a.report = append(a.report, false)
+	a.code = append(a.code, 0)
+	a.succ = append(a.succ, nil)
+	return id
+}
+
+// AddEdge links from → to.
+func (a *Automaton) AddEdge(from, to StateID) {
+	a.succ[from] = append(a.succ[from], to)
+}
+
+// SetReport marks id as reporting with code.
+func (a *Automaton) SetReport(id StateID, code int32) {
+	a.report[id] = true
+	a.code[id] = code
+}
+
+// AppendByte appends an 8-state chain matching the bits of value (MSB
+// first) where the corresponding careMask bit is 1, and either bit where it
+// is 0. prev is the chain's predecessor (NoTail for a fresh start chain);
+// returns the chain's tail.
+func (a *Automaton) AppendByte(prev StateID, value, careMask byte, startChain bool) StateID {
+	cur := prev
+	for i := 7; i >= 0; i-- {
+		var c BitClass
+		if careMask&(1<<i) == 0 {
+			c = MatchAny
+		} else if value&(1<<i) != 0 {
+			c = MatchOne
+		} else {
+			c = MatchZero
+		}
+		id := a.AddState(c, startChain && cur == NoTail && i == 7)
+		if cur != NoTail {
+			a.AddEdge(cur, id)
+		}
+		cur = id
+	}
+	return cur
+}
+
+// NoTail marks "no predecessor" for AppendByte / AppendUintRange.
+const NoTail = ^StateID(0)
+
+// AppendUintRange appends a width-bit (MSB first) acceptor for integers in
+// [lo, hi], attached after prev, and returns the tails (the states active
+// after the last bit of any accepted value). This is the digit-DP automaton
+// used to express bit-fields like "seconds in 0..29" exactly rather than as
+// wildcards.
+func (a *Automaton) AppendUintRange(prev StateID, width uint, lo, hi uint64) ([]StateID, error) {
+	if width == 0 || width > 64 {
+		return nil, fmt.Errorf("bitnfa: bad width %d", width)
+	}
+	if lo > hi {
+		return nil, fmt.Errorf("bitnfa: empty range [%d,%d]", lo, hi)
+	}
+	if max := uint64(1)<<width - 1; hi > max {
+		return nil, fmt.Errorf("bitnfa: hi %d exceeds %d-bit range", hi, width)
+	}
+	// memo key: (bitIndex, tightLo, tightHi, bitValue) → state.
+	type key struct {
+		i      uint
+		tl, th bool
+		b      byte
+	}
+	memo := map[key]StateID{}
+	var tails []StateID
+	// rec extends from pred having consumed bits [0,i) with tightness
+	// (tl, th).
+	var rec func(pred StateID, i uint, tl, th bool)
+	rec = func(pred StateID, i uint, tl, th bool) {
+		if i == width {
+			tails = append(tails, pred)
+			return
+		}
+		shift := width - 1 - i
+		loBit := byte(lo >> shift & 1)
+		hiBit := byte(hi >> shift & 1)
+		for _, b := range [2]byte{0, 1} {
+			if tl && b < loBit {
+				continue
+			}
+			if th && b > hiBit {
+				continue
+			}
+			ntl := tl && b == loBit
+			nth := th && b == hiBit
+			k := key{i, tl, th, b}
+			id, ok := memo[k]
+			if !ok {
+				c := MatchZero
+				if b == 1 {
+					c = MatchOne
+				}
+				id = a.AddState(c, false)
+				memo[k] = id
+				rec(id, i+1, ntl, nth)
+			}
+			if pred != NoTail {
+				a.AddEdge(pred, id)
+			} else {
+				a.start[id] = true
+			}
+		}
+	}
+	rec(prev, 0, true, true)
+	// Deduplicate tails (distinct tightness paths can share memo states).
+	sort.Slice(tails, func(i, j int) bool { return tails[i] < tails[j] })
+	uniq := tails[:0]
+	for i, t := range tails {
+		if i == 0 || t != tails[i-1] {
+			uniq = append(uniq, t)
+		}
+	}
+	return uniq, nil
+}
+
+// AppendAnyBits appends a chain of k wildcard bits fed by every state in
+// prevs, returning the chain's single tail. Because a free field accepts
+// everything, fan-in from multiple predecessor tails can join here without
+// changing the language — the idiom that keeps composed bit-field
+// automata from multiplying out their tail sets.
+func (a *Automaton) AppendAnyBits(prevs []StateID, k uint) (StateID, error) {
+	if k == 0 {
+		return 0, fmt.Errorf("bitnfa: zero-width free field")
+	}
+	var head, cur StateID
+	for i := uint(0); i < k; i++ {
+		id := a.AddState(MatchAny, false)
+		if i == 0 {
+			head = id
+		} else {
+			a.AddEdge(cur, id)
+		}
+		cur = id
+	}
+	for _, p := range prevs {
+		a.AddEdge(p, head)
+	}
+	return cur, nil
+}
+
+// Simulate runs the bit automaton directly over a byte stream (consuming 8
+// bits per byte, MSB first) and returns reporting (byteOffset, code) pairs.
+// It is the reference semantics Stride8 is tested against.
+func (a *Automaton) Simulate(input []byte) [][2]int64 {
+	var out [][2]int64
+	enabled := map[StateID]bool{}
+	next := map[StateID]bool{}
+	for off, b := range input {
+		for bit := 7; bit >= 0; bit-- {
+			v := b >> bit & 1
+			if bit == 7 { // byte boundary: starts join the frontier
+				for s := range a.start {
+					if a.start[s] {
+						enabled[StateID(s)] = true
+					}
+				}
+			}
+			clear(next)
+			for s := range enabled {
+				if !a.class[s].matches(v) {
+					continue
+				}
+				if a.report[s] {
+					if bit != 0 {
+						// mid-byte report: tolerated in simulation,
+						// attributed to the current byte
+					}
+					out = append(out, [2]int64{int64(off), int64(a.code[s])})
+				}
+				for _, t := range a.succ[s] {
+					next[t] = true
+				}
+			}
+			enabled, next = next, enabled
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Stride8 converts the bit automaton into a byte-level homogeneous
+// automaton consuming one byte (8 bits, MSB first) per symbol. It fails if
+// any report can fire mid-byte (the pattern is not byte-aligned).
+//
+// The construction has two phases. First it builds an edge-labelled byte
+// NFA whose nodes are "anchor" bit-states (states active on the final bit
+// of a byte): for each anchor u and each byte value, the 8-bit futures of
+// u's successors are simulated to find which anchors activate next and
+// whether a report fires. Then the edge-labelled NFA is homogenized by
+// splitting every node per distinct incoming byte-set, which is what gives
+// strided automata their characteristic high fan-out (File Carving's 58.8
+// edges/node in Table I).
+func (a *Automaton) Stride8() (*automata.Automaton, error) {
+	type futures struct {
+		next   [256][]StateID // anchors active on last bit, per byte
+		report [256]bool
+	}
+	// simulate8 runs 8 bits of byte b from the given initially-enabled set
+	// and reports which states are active on the last bit, plus whether a
+	// reporting state activated anywhere in the byte (and at which bit).
+	simulate8 := func(initial []StateID, b byte) (active []StateID, reported bool, midByteReport bool) {
+		enabled := map[StateID]bool{}
+		for _, s := range initial {
+			enabled[s] = true
+		}
+		for bit := 7; bit >= 0; bit-- {
+			v := b >> bit & 1
+			act := []StateID{}
+			next := map[StateID]bool{}
+			for s := range enabled {
+				if !a.class[s].matches(v) {
+					continue
+				}
+				act = append(act, s)
+				if a.report[s] {
+					reported = true
+					if bit != 0 {
+						midByteReport = true
+					}
+				}
+				for _, t := range a.succ[s] {
+					next[t] = true
+				}
+			}
+			enabled = next
+			if bit == 0 {
+				sort.Slice(act, func(i, j int) bool { return act[i] < act[j] })
+				active = act
+			}
+		}
+		return active, reported, midByteReport
+	}
+
+	var startStates []StateID
+	for s := range a.start {
+		if a.start[s] {
+			startStates = append(startStates, StateID(s))
+		}
+	}
+
+	// Discover anchors via worklist; node "start" is virtual.
+	anchorIdx := map[StateID]int{}
+	var anchors []StateID
+	addAnchor := func(s StateID) int {
+		if i, ok := anchorIdx[s]; ok {
+			return i
+		}
+		i := len(anchors)
+		anchorIdx[s] = i
+		anchors = append(anchors, s)
+		return i
+	}
+
+	// Edge-labelled byte NFA. node -1 is the virtual start.
+	type labelled struct {
+		bytes charset.Set
+	}
+	edges := map[[2]int]*labelled{} // (fromAnchorIdx or -1, toAnchorIdx)
+	reportsOn := map[int]charset.Set{}
+	reportCode := map[int]int32{}
+
+	// Anchor report codes: an anchor that is a reporting bit-state reports
+	// when it activates (on the last bit). simulate8's 'reported' covers
+	// reports by *interior* states too; byte alignment means interior
+	// reports are exactly the anchor reports, which we verify.
+	addEdge := func(from int, s StateID, b byte) {
+		to := addAnchor(s)
+		key := [2]int{from, to}
+		l := edges[key]
+		if l == nil {
+			l = &labelled{}
+			edges[key] = l
+		}
+		l.bytes.Add(b)
+		if a.report[s] {
+			cs := reportsOn[to]
+			cs.Add(b)
+			reportsOn[to] = cs
+			reportCode[to] = a.code[s]
+		}
+	}
+
+	processed := map[int]bool{}
+	var work []int
+	// Seed from the virtual start.
+	for b := 0; b < 256; b++ {
+		act, _, mid := simulate8(startStates, byte(b))
+		if mid {
+			return nil, fmt.Errorf("bitnfa: pattern reports mid-byte (not byte-aligned)")
+		}
+		for _, s := range act {
+			addEdge(-1, s, byte(b))
+		}
+	}
+	for i := range anchors {
+		if !processed[i] {
+			processed[i] = true
+			work = append(work, i)
+		}
+	}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		u := anchors[i]
+		for b := 0; b < 256; b++ {
+			// u was active on the last bit of the previous byte, so its
+			// successors are enabled on the first bit of this one. Starts
+			// re-join every byte but are covered by the virtual start node.
+			act, _, mid := simulate8(a.succ[u], byte(b))
+			if mid {
+				return nil, fmt.Errorf("bitnfa: pattern reports mid-byte (not byte-aligned)")
+			}
+			before := len(anchors)
+			for _, s := range act {
+				addEdge(i, s, byte(b))
+			}
+			for j := before; j < len(anchors); j++ {
+				if !processed[j] {
+					processed[j] = true
+					work = append(work, j)
+				}
+			}
+		}
+	}
+
+	// Homogenize: split each anchor per distinct incoming byte-set.
+	b2 := automata.NewBuilder()
+	type split struct {
+		bytes charset.Set
+		id    automata.StateID
+	}
+	splits := make([][]split, len(anchors))
+	getSplit := func(to int, bytes charset.Set) automata.StateID {
+		for _, sp := range splits[to] {
+			if sp.bytes == bytes {
+				return sp.id
+			}
+		}
+		id := b2.AddSTE(bytes, automata.StartNone)
+		if rep, ok := reportsOn[to]; ok && !rep.Intersect(bytes).IsEmpty() {
+			// The copy reports only if its label overlaps the reporting
+			// byte-set; exact when labels don't mix reporting and
+			// non-reporting bytes, which holds because reporting is a
+			// property of the destination anchor activating — and this
+			// copy activates exactly on its label bytes.
+			b2.SetReport(id, reportCode[to])
+		}
+		splits[to] = append(splits[to], split{bytes, id})
+		return id
+	}
+
+	// Group edges by destination and label so each (to, bytes) pair becomes
+	// one split copy.
+	type edgeRec struct {
+		from, to int
+		bytes    charset.Set
+	}
+	var recs []edgeRec
+	for k, l := range edges {
+		recs = append(recs, edgeRec{k[0], k[1], l.bytes})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].to != recs[j].to {
+			return recs[i].to < recs[j].to
+		}
+		return recs[i].from < recs[j].from
+	})
+	// First materialize all split copies (destinations).
+	for _, r := range recs {
+		getSplit(r.to, r.bytes)
+	}
+	// Start-labelled copies become all-input start states.
+	for _, r := range recs {
+		if r.from == -1 {
+			id := getSplit(r.to, r.bytes)
+			b2.SetStart(id, automata.StartAllInput)
+		}
+	}
+	// Wire interior edges: from every copy of r.from to the copy of r.to
+	// carrying r.bytes.
+	for _, r := range recs {
+		if r.from == -1 {
+			continue
+		}
+		toID := getSplit(r.to, r.bytes)
+		for _, sp := range splits[r.from] {
+			b2.AddEdge(sp.id, toID)
+		}
+	}
+	return b2.Build()
+}

@@ -1,0 +1,148 @@
+// Package context implements context-sensitive rule execution, the first
+// future-work direction of the paper's Section XI: "many applications have
+// context dependent rules that allow the existence of one pattern to
+// trigger search for another. … Some rules are only applied to parts of
+// the input stream, and are very rarely required."
+//
+// A context rule pairs a trigger (a report code of the base automaton)
+// with a secondary pattern that is armed only for a bounded window of
+// bytes after each trigger report. Outside its window the secondary
+// pattern consumes no automaton resources and can produce no (false)
+// reports — exactly the selective application real Snort/YARA semantics
+// demand, and the behaviour flat benchmark automata over-approximate.
+package context
+
+import (
+	"fmt"
+
+	"automatazoo/internal/automata"
+	"automatazoo/internal/regex"
+	"automatazoo/internal/sim"
+)
+
+// Rule is one context-sensitive rule: when the base automaton reports
+// Trigger, arm Pattern for the next Window bytes.
+type Rule struct {
+	Trigger int32  // base-automaton report code that arms this rule
+	Pattern string // PCRE-subset pattern (compiled unanchored)
+	Window  int    // bytes after the trigger during which the pattern may start
+	Code    int32  // report code for the secondary match
+}
+
+// armedRule is one compiled rule's runtime state.
+type armedRule struct {
+	heads     []automata.StateID // secondary start states, demoted to StartNone
+	window    int
+	remaining int
+}
+
+// Engine runs a base automaton plus context rules over a stream.
+type Engine struct {
+	base      *sim.Engine
+	secondary *sim.Engine
+
+	rules []armedRule
+	// byTrigger maps a base report code to the rules it arms.
+	byTrigger map[int32][]int
+
+	// OnReport receives base reports (as-is) and secondary reports (with
+	// the rule's Code).
+	OnReport func(sim.Report)
+
+	triggered int64
+}
+
+// New compiles the context rules against the given base automaton. The
+// secondary patterns are compiled into one automaton whose start states
+// are StartNone — they only run when armed.
+func New(base *automata.Automaton, rules []Rule) (*Engine, error) {
+	e := &Engine{byTrigger: map[int32][]int{}}
+	sb := automata.NewBuilder()
+	for i, r := range rules {
+		if r.Window <= 0 {
+			return nil, fmt.Errorf("context: rule %d has non-positive window", i)
+		}
+		parsed, err := regex.Parse(r.Pattern, 0)
+		if err != nil {
+			return nil, fmt.Errorf("context: rule %d: %w", i, err)
+		}
+		before := sb.NumStates()
+		if _, err := regex.CompileInto(sb, parsed, r.Code); err != nil {
+			return nil, fmt.Errorf("context: rule %d: %w", i, err)
+		}
+		ar := armedRule{window: r.Window}
+		// Demote the pattern's start states: they must only fire when the
+		// engine arms them.
+		for s := before; s < sb.NumStates(); s++ {
+			id := automata.StateID(s)
+			if sb.Start(id) != automata.StartNone {
+				sb.SetStart(id, automata.StartNone)
+				ar.heads = append(ar.heads, id)
+			}
+		}
+		e.byTrigger[r.Trigger] = append(e.byTrigger[r.Trigger], len(e.rules))
+		e.rules = append(e.rules, ar)
+	}
+	secondary, err := sb.Build()
+	if err != nil {
+		return nil, err
+	}
+	e.secondary = sim.New(secondary)
+	e.secondary.OnReport = func(r sim.Report) {
+		if e.OnReport != nil {
+			e.OnReport(r)
+		}
+	}
+	e.base = sim.New(base)
+	e.base.OnReport = func(r sim.Report) {
+		if idxs, ok := e.byTrigger[r.Code]; ok {
+			for _, i := range idxs {
+				e.rules[i].remaining = e.rules[i].window
+			}
+			e.triggered++
+		}
+		if e.OnReport != nil {
+			e.OnReport(r)
+		}
+	}
+	return e, nil
+}
+
+// Run consumes the input stream.
+func (e *Engine) Run(input []byte) {
+	for _, b := range input {
+		// Arm secondary heads for every rule whose window is open: a head
+		// enabled now is matched against THIS symbol, so the secondary
+		// pattern may start anywhere inside the window.
+		for i := range e.rules {
+			ar := &e.rules[i]
+			if ar.remaining <= 0 {
+				continue
+			}
+			for _, h := range ar.heads {
+				e.secondary.EnableState(h)
+			}
+			ar.remaining--
+		}
+		e.secondary.Step(b)
+		e.base.Step(b)
+	}
+}
+
+// Reset restarts both automata and closes all windows.
+func (e *Engine) Reset() {
+	e.base.Reset()
+	e.secondary.Reset()
+	for i := range e.rules {
+		e.rules[i].remaining = 0
+	}
+	e.triggered = 0
+}
+
+// Triggered reports how many times any window was (re)armed.
+func (e *Engine) Triggered() int64 { return e.triggered }
+
+// Stats returns the combined engine statistics.
+func (e *Engine) Stats() (base, secondary sim.Stats) {
+	return e.base.Stats(), e.secondary.Stats()
+}

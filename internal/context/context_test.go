@@ -1,0 +1,185 @@
+package context
+
+import (
+	"testing"
+
+	"automatazoo/internal/regex"
+	"automatazoo/internal/sim"
+)
+
+func newEngine(t *testing.T, basePattern string, rules []Rule) (*Engine, *[]sim.Report) {
+	t.Helper()
+	res, err := regex.Compile(basePattern, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(res.Automaton, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []sim.Report
+	e.OnReport = func(r sim.Report) { got = append(got, r) }
+	return e, &got
+}
+
+func codes(rs []sim.Report) []int32 {
+	var out []int32
+	for _, r := range rs {
+		out = append(out, r.Code)
+	}
+	return out
+}
+
+func TestSecondaryFiresOnlyAfterTrigger(t *testing.T) {
+	e, got := newEngine(t, "TRIG", []Rule{
+		{Trigger: 1, Pattern: "payload", Window: 20, Code: 100},
+	})
+	// Secondary text present WITHOUT a preceding trigger: must not fire.
+	e.Run([]byte("xx payload xx"))
+	if len(*got) != 0 {
+		t.Fatalf("untriggered secondary fired: %v", *got)
+	}
+	e.Reset()
+	*got = nil
+	// Trigger then secondary inside the window.
+	e.Run([]byte("TRIG payload"))
+	cs := codes(*got)
+	if len(cs) != 2 || cs[0] != 1 || cs[1] != 100 {
+		t.Fatalf("reports=%v want [1 100]", cs)
+	}
+	if e.Triggered() != 1 {
+		t.Fatalf("triggered=%d", e.Triggered())
+	}
+}
+
+func TestWindowExpires(t *testing.T) {
+	e, got := newEngine(t, "TRIG", []Rule{
+		{Trigger: 1, Pattern: "late", Window: 4, Code: 100},
+	})
+	// "late" starts 8 bytes after the trigger: outside the 4-byte window.
+	e.Run([]byte("TRIG........late"))
+	for _, c := range codes(*got) {
+		if c == 100 {
+			t.Fatalf("expired window still matched: %v", *got)
+		}
+	}
+	e.Reset()
+	*got = nil
+	// Starting within the window is fine even if it ENDS after it.
+	e.Run([]byte("TRIG..late"))
+	found := false
+	for _, c := range codes(*got) {
+		if c == 100 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("in-window match missed: %v", *got)
+	}
+}
+
+func TestRetriggeringReopensWindow(t *testing.T) {
+	e, got := newEngine(t, "TRIG", []Rule{
+		{Trigger: 1, Pattern: "hit", Window: 3, Code: 100},
+	})
+	e.Run([]byte("TRIG......TRIGhit"))
+	n := 0
+	for _, c := range codes(*got) {
+		if c == 100 {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("re-trigger window: hits=%d want 1", n)
+	}
+	if e.Triggered() != 2 {
+		t.Fatalf("triggered=%d want 2", e.Triggered())
+	}
+}
+
+func TestMultipleRulesIndependentWindows(t *testing.T) {
+	res, err := regex.Compile("A+B", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add a second trigger pattern under another code.
+	// (Compile the base with two patterns via a builder-based path.)
+	e, err := New(res.Automaton, []Rule{
+		{Trigger: 1, Pattern: "one", Window: 6, Code: 101},
+		{Trigger: 1, Pattern: "two", Window: 2, Code: 102},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []sim.Report
+	e.OnReport = func(r sim.Report) { got = append(got, r) }
+	// "one" at +3 (inside 6), "two" at +3 (outside 2).
+	e.Run([]byte("AAB...one"))
+	var c101, c102 int
+	for _, r := range got {
+		switch r.Code {
+		case 101:
+			c101++
+		case 102:
+			c102++
+		}
+	}
+	if c101 != 1 {
+		t.Fatalf("rule 101 hits=%d", c101)
+	}
+	e.Reset()
+	got = nil
+	e.Run([]byte("AAB...two"))
+	for _, r := range got {
+		if r.Code == 102 {
+			t.Fatalf("rule 102 fired outside its 2-byte window: %v", got)
+		}
+	}
+}
+
+func TestContextReducesFalsePositives(t *testing.T) {
+	// The §XI motivation quantified: the same secondary pattern as a flat
+	// always-on rule vs context-armed. On trigger-free noise, the flat
+	// form reports constantly, the context form never.
+	noise := []byte("payload payload payload payload payload")
+	flat, err := regex.Compile("payload", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := sim.New(flat.Automaton)
+	flatReports := fe.CountReports(noise)
+	if flatReports != 5 {
+		t.Fatalf("flat reports=%d", flatReports)
+	}
+	e, got := newEngine(t, "TRIG", []Rule{
+		{Trigger: 1, Pattern: "payload", Window: 16, Code: 100},
+	})
+	e.Run(noise)
+	if len(*got) != 0 {
+		t.Fatalf("context form should be silent on noise: %v", *got)
+	}
+}
+
+func TestRuleValidation(t *testing.T) {
+	res, err := regex.Compile("x", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(res.Automaton, []Rule{{Trigger: 1, Pattern: "p", Window: 0}}); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := New(res.Automaton, []Rule{{Trigger: 1, Pattern: "(", Window: 4}}); err == nil {
+		t.Fatal("bad pattern accepted")
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	e, _ := newEngine(t, "TRIG", []Rule{
+		{Trigger: 1, Pattern: "zz", Window: 4, Code: 100},
+	})
+	e.Run([]byte("TRIGzz"))
+	b, s := e.Stats()
+	if b.Symbols != 6 || s.Symbols != 6 {
+		t.Fatalf("stats: base=%+v secondary=%+v", b, s)
+	}
+}

@@ -1,0 +1,105 @@
+package context
+
+import (
+	"testing"
+
+	"automatazoo/internal/automata"
+	"automatazoo/internal/regex"
+	"automatazoo/internal/sim"
+	"automatazoo/internal/snort"
+)
+
+// The paper's §XI motivation, demonstrated on the Snort benchmark: the
+// buffer-scoped modifier rules that §V had to EXCLUDE (they matched wildly
+// out of context) can instead be armed only near a request line — restoring
+// them to the benchmark with realistic selectivity.
+func TestSnortModifierRulesAsContextRules(t *testing.T) {
+	gen := snort.GenConfig{CleanRules: 40, ModifierRules: 60, IsdataatRules: 0}
+	rules := snort.Generate(gen, 5)
+	traffic := snort.Traffic(80_000, rules, 6)
+
+	// Flat form of the modifier population: always-on everywhere (the
+	// ANMLZoo mistake §V measured).
+	var modifierRules []snort.Rule
+	for _, r := range rules {
+		if r.HasSnortModifiers() {
+			modifierRules = append(modifierRules, r)
+		}
+	}
+	flatA, _, err := snort.Compile(modifierRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := sim.New(flatA)
+	flatStats := flat.Run(traffic)
+	if flatStats.Reports == 0 {
+		t.Fatal("test premise broken: flat modifier rules never fire")
+	}
+
+	// Context form: the same patterns armed only for the first bytes after
+	// an HTTP request line — the buffer their modifiers scope them to.
+	const requestLineCode = -1
+	cb := compileWithTrigger(t, snort.Select(rules, snort.Filtered), requestLineCode)
+	var ctxRules []Rule
+	for _, r := range modifierRules {
+		ctxRules = append(ctxRules, Rule{
+			Trigger: requestLineCode,
+			Pattern: r.PCRE,
+			Window:  60, // request line + first header, not the whole request
+			Code:    int32(r.SID),
+		})
+	}
+	e, err := New(cb, ctxRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modifierSIDs := map[int32]bool{}
+	for _, r := range modifierRules {
+		modifierSIDs[int32(r.SID)] = true
+	}
+	var ctxReports int64
+	e.OnReport = func(r sim.Report) {
+		if modifierSIDs[r.Code] {
+			ctxReports++
+		}
+	}
+	e.Run(traffic)
+
+	if ctxReports == 0 {
+		t.Fatal("context-armed modifier rules never fired; windows broken")
+	}
+	// Context arming must restore selectivity: a meaningful cut versus the
+	// always-on form of the same patterns.
+	if float64(ctxReports) > 0.6*float64(flatStats.Reports) {
+		t.Fatalf("context arming barely helped: flat=%d context=%d",
+			flatStats.Reports, ctxReports)
+	}
+}
+
+// compileWithTrigger compiles the §V-filtered clean rules plus an
+// HTTP-request-line trigger pattern into one automaton.
+func compileWithTrigger(t *testing.T, clean []snort.Rule, triggerCode int32) *automata.Automaton {
+	t.Helper()
+	b := automata.NewBuilder()
+	for _, r := range clean {
+		parsed, err := regex.Parse(r.PCRE, r.Flags)
+		if err != nil {
+			continue
+		}
+		if _, err := regex.CompileInto(b, parsed, int32(r.SID)); err != nil {
+			continue
+		}
+	}
+	parsed, err := regex.Parse(`(GET|POST|PUT|HEAD) \/`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := regex.CompileInto(b, parsed, triggerCode); err != nil {
+		t.Fatal(err)
+	}
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}

@@ -1,0 +1,439 @@
+// Package dfa implements the suite's Hyperscan-proxy CPU engine: each
+// weakly-connected component (pattern/filter) of a homogeneous automaton is
+// compiled to its own lazily-determinized DFA with byte-equivalence-class
+// compression, and all component DFAs advance one transition per input
+// byte.
+//
+// This mirrors how production regex engines execute large rule sets — they
+// decompose the set and run small deterministic machines rather than
+// interpreting a shared NFA frontier — and it is the property the paper's
+// Table III measures: architecture-specific padding states inflate an NFA
+// interpreter's active set (VASim, 26.7% overhead) but mostly vanish inside
+// a DFA's precomputed transitions (Hyperscan, 2.92%).
+//
+// Counters cannot be determinized (their value is unbounded runtime state);
+// New rejects automata containing them, as Hyperscan rejects such rules.
+package dfa
+
+import (
+	"errors"
+	"sort"
+
+	"automatazoo/internal/automata"
+	"automatazoo/internal/charset"
+)
+
+// ErrCounters is returned for automata with counter elements.
+var ErrCounters = errors.New("dfa: automaton contains counter elements")
+
+// Stats aggregates a run's dynamic profile.
+type Stats struct {
+	Symbols   int64
+	Reports   int64
+	DFAStates int // total interned DFA states across components
+	Fallbacks int // components that overflowed their DFA budget
+}
+
+// ReportRate returns reports per symbol.
+func (s Stats) ReportRate() float64 {
+	if s.Symbols == 0 {
+		return 0
+	}
+	return float64(s.Reports) / float64(s.Symbols)
+}
+
+// Report mirrors sim.Report: a match at an input offset.
+type Report struct {
+	Offset int64
+	State  automata.StateID
+	Code   int32
+}
+
+// component is the static, lazily-extended DFA of one connected component.
+type component struct {
+	states    []automata.StateID // members, ascending
+	allStarts []automata.StateID // all-input starts
+	sodStarts []automata.StateID // start-of-data starts
+
+	byteClass [256]uint16 // byte → equivalence class
+	classRep  []byte      // class → representative byte
+	nClasses  int
+
+	// Interned DFA states. dstates[0] is the dead state (empty frontier),
+	// dstates[1] is the initial state (start-of-data frontier).
+	dstates  []dstate
+	index    map[string]uint32
+	overflow bool // budget exceeded: component runs in NFA-fallback mode
+	budget   int
+
+	// NFA-fallback runtime (only used when overflow).
+	frontier []automata.StateID
+	next     []automata.StateID
+	mark     map[automata.StateID]bool
+}
+
+type dstate struct {
+	frontier []automata.StateID
+	trans    []uint32  // per byte-class; transUnset = not yet computed
+	reports  [][]int32 // per byte-class; computed with trans
+}
+
+const transUnset = ^uint32(0)
+
+// Engine executes one automaton via per-component lazy DFAs. Not safe for
+// concurrent use; the underlying Automaton is shared and immutable, so run
+// parallel streams with one Engine each.
+type Engine struct {
+	a     *automata.Automaton
+	opts  Options
+	sets  []charset.Set
+	comps []*component
+	cur   []uint32 // current dstate per component
+
+	// live lists the components that can still act. A component whose DFA
+	// reaches the dead state and has no all-input starts can never match
+	// again before the next Reset, so it is dropped from the scan loop —
+	// the pattern-confirmed-dead elision production engines rely on.
+	live []int32
+
+	offset int64
+	stats  Stats
+
+	// CollectReports controls report list collection; OnReport is invoked
+	// for every report regardless.
+	CollectReports bool
+	OnReport       func(Report)
+	reports        []Report
+}
+
+// Options tune the engine's internal strategies; the zero value is the
+// production configuration. The Disable* knobs exist for the ablation
+// benchmarks that quantify each design choice.
+type Options struct {
+	// NoByteClasses disables byte-equivalence-class compression: every
+	// dstate carries a full 256-entry transition row.
+	NoByteClasses bool
+	// NoDeadElision keeps permanently-dead components in the scan loop.
+	NoDeadElision bool
+	// BudgetFactor overrides the DFA-state budget multiplier (default 16
+	// states per NFA state).
+	BudgetFactor int
+}
+
+// New analyzes and decomposes a. It returns ErrCounters if the automaton
+// uses counter elements.
+func New(a *automata.Automaton) (*Engine, error) {
+	return NewWithOptions(a, Options{})
+}
+
+// NewWithOptions is New with explicit strategy options.
+func NewWithOptions(a *automata.Automaton, opts Options) (*Engine, error) {
+	if a.NumCounters() > 0 {
+		return nil, ErrCounters
+	}
+	_, compIdx := a.Components()
+	nComp := 0
+	for _, c := range compIdx {
+		if int(c)+1 > nComp {
+			nComp = int(c) + 1
+		}
+	}
+	e := &Engine{a: a, opts: opts, sets: a.Table().Sets(), comps: make([]*component, nComp)}
+	for i := range e.comps {
+		e.comps[i] = &component{index: map[string]uint32{}}
+	}
+	for s := 0; s < a.NumStates(); s++ {
+		c := e.comps[compIdx[s]]
+		c.states = append(c.states, automata.StateID(s))
+	}
+	for _, c := range e.comps {
+		e.prepare(c)
+	}
+	e.cur = make([]uint32, nComp)
+	e.Reset()
+	return e, nil
+}
+
+// prepare computes byte classes and the initial DFA states of a component.
+func (e *Engine) prepare(c *component) {
+	for _, s := range c.states {
+		switch e.a.Start(s) {
+		case automata.StartAllInput:
+			c.allStarts = append(c.allStarts, s)
+		case automata.StartOfData:
+			c.sodStarts = append(c.sodStarts, s)
+		}
+	}
+	if e.opts.NoByteClasses {
+		// Ablation: one class per byte value.
+		c.classRep = make([]byte, 256)
+		for b := 0; b < 256; b++ {
+			c.byteClass[b] = uint16(b)
+			c.classRep[b] = byte(b)
+		}
+		c.nClasses = 256
+	} else {
+		// Byte equivalence classes: two bytes are equivalent iff every
+		// distinct charset in the component treats them identically.
+		handles := map[charset.Handle]struct{}{}
+		for _, s := range c.states {
+			handles[e.a.ClassHandle(s)] = struct{}{}
+		}
+		distinct := make([]charset.Set, 0, len(handles))
+		for h := range handles {
+			distinct = append(distinct, e.sets[h])
+		}
+		sigIndex := map[string]uint16{}
+		sig := make([]byte, (len(distinct)+7)/8)
+		for b := 0; b < 256; b++ {
+			for i := range sig {
+				sig[i] = 0
+			}
+			for i, cs := range distinct {
+				if cs.Contains(byte(b)) {
+					sig[i/8] |= 1 << (i % 8)
+				}
+			}
+			key := string(sig)
+			cls, ok := sigIndex[key]
+			if !ok {
+				cls = uint16(len(sigIndex))
+				sigIndex[key] = cls
+				c.classRep = append(c.classRep, byte(b))
+			}
+			c.byteClass[b] = cls
+		}
+		c.nClasses = len(sigIndex)
+	}
+	factor := e.opts.BudgetFactor
+	if factor <= 0 {
+		factor = 16
+	}
+	c.budget = factor*len(c.states) + 64
+	// dstate 0: dead (empty frontier). dstate 1: initial (start-of-data
+	// frontier).
+	c.dstates = append(c.dstates, e.newDstate(c, nil))
+	c.index[""] = 0
+	init := append([]automata.StateID(nil), c.sodStarts...)
+	sort.Slice(init, func(i, j int) bool { return init[i] < init[j] })
+	c.dstates = append(c.dstates, e.newDstate(c, init))
+	c.index[frontierKey(init)] = 1
+}
+
+func (e *Engine) newDstate(c *component, frontier []automata.StateID) dstate {
+	d := dstate{
+		frontier: frontier,
+		trans:    make([]uint32, c.nClasses),
+		reports:  make([][]int32, c.nClasses),
+	}
+	for i := range d.trans {
+		d.trans[i] = transUnset
+	}
+	return d
+}
+
+func frontierKey(f []automata.StateID) string {
+	buf := make([]byte, 0, len(f)*4)
+	for _, s := range f {
+		buf = append(buf, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+	}
+	return string(buf)
+}
+
+// computeTransition determinizes one (dstate, byte-class) edge.
+func (e *Engine) computeTransition(c *component, di uint32, cls uint16) {
+	d := &c.dstates[di]
+	rep := c.classRep[cls]
+	var reports []int32
+	var nextFront []automata.StateID
+	seen := map[automata.StateID]bool{}
+	consider := func(s automata.StateID) {
+		if !e.sets[e.a.ClassHandle(s)].Contains(rep) {
+			return
+		}
+		if e.a.IsReport(s) {
+			reports = append(reports, e.a.ReportCode(s))
+		}
+		for _, t := range e.a.Succ(s) {
+			if !seen[t] {
+				seen[t] = true
+				nextFront = append(nextFront, t)
+			}
+		}
+	}
+	for _, s := range d.frontier {
+		consider(s)
+	}
+	for _, s := range c.allStarts {
+		if !containsSorted(d.frontier, s) {
+			consider(s)
+		}
+	}
+	sort.Slice(nextFront, func(i, j int) bool { return nextFront[i] < nextFront[j] })
+	key := frontierKey(nextFront)
+	ni, ok := c.index[key]
+	if !ok {
+		if len(c.dstates) >= c.budget {
+			// Budget exceeded: switch the whole component to NFA fallback.
+			c.overflow = true
+			e.stats.Fallbacks++
+			return
+		}
+		ni = uint32(len(c.dstates))
+		nd := e.newDstate(c, nextFront)
+		c.dstates = append(c.dstates, nd)
+		c.index[key] = ni
+	}
+	// Re-take the pointer: the append above may have moved the slice.
+	d = &c.dstates[di]
+	d.trans[cls] = ni
+	d.reports[cls] = reports
+}
+
+func containsSorted(xs []automata.StateID, v automata.StateID) bool {
+	i := sort.Search(len(xs), func(i int) bool { return xs[i] >= v })
+	return i < len(xs) && xs[i] == v
+}
+
+// Reset restarts all component DFAs at their initial state and clears
+// statistics and collected reports. Interned DFA states are retained.
+func (e *Engine) Reset() {
+	e.live = e.live[:0]
+	for i, c := range e.comps {
+		e.cur[i] = 1
+		c.frontier = c.frontier[:0]
+		if c.overflow && c.mark == nil {
+			c.mark = map[automata.StateID]bool{}
+		}
+		e.live = append(e.live, int32(i))
+	}
+	e.offset = 0
+	e.stats.Reports = 0
+	e.stats.Symbols = 0
+	e.reports = e.reports[:0]
+}
+
+// Stats returns statistics accumulated since the last Reset, plus the
+// current total DFA state count.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.DFAStates = 0
+	for _, c := range e.comps {
+		s.DFAStates += len(c.dstates)
+	}
+	return s
+}
+
+// Reports returns collected reports (when CollectReports is set).
+func (e *Engine) Reports() []Report { return e.reports }
+
+func (e *Engine) emit(code int32) {
+	e.stats.Reports++
+	r := Report{Offset: e.offset, Code: code}
+	if e.OnReport != nil {
+		e.OnReport(r)
+	}
+	if e.CollectReports {
+		e.reports = append(e.reports, r)
+	}
+}
+
+// Run consumes input, advancing every component DFA one transition per
+// byte. It may be called repeatedly to continue the same stream.
+func (e *Engine) Run(input []byte) Stats {
+	for _, b := range input {
+		e.stepByte(b)
+	}
+	return e.Stats()
+}
+
+func (e *Engine) stepByte(b byte) {
+	e.stats.Symbols++
+	for i := 0; i < len(e.live); {
+		ci := e.live[i]
+		c := e.comps[ci]
+		if c.overflow {
+			e.nfaStep(c, b)
+			i++
+			continue
+		}
+		di := e.cur[ci]
+		cls := c.byteClass[b]
+		if c.dstates[di].trans[cls] == transUnset {
+			e.computeTransition(c, di, cls)
+			if c.overflow {
+				// Seed the fallback frontier from the current dstate and
+				// process this byte via the NFA path.
+				c.frontier = append(c.frontier[:0], c.dstates[di].frontier...)
+				if c.mark == nil {
+					c.mark = map[automata.StateID]bool{}
+				}
+				e.nfaStep(c, b)
+				i++
+				continue
+			}
+		}
+		d := &c.dstates[di]
+		for _, code := range d.reports[cls] {
+			e.emit(code)
+		}
+		next := d.trans[cls]
+		e.cur[ci] = next
+		if next == 0 && len(c.allStarts) == 0 && !e.opts.NoDeadElision {
+			// Permanently dead until Reset: drop from the scan loop.
+			e.live[i] = e.live[len(e.live)-1]
+			e.live = e.live[:len(e.live)-1]
+			continue
+		}
+		i++
+	}
+	e.offset++
+}
+
+// nfaStep advances an overflowed component by direct frontier stepping.
+func (e *Engine) nfaStep(c *component, b byte) {
+	c.next = c.next[:0]
+	clear(c.mark)
+	consider := func(s automata.StateID) {
+		if !e.sets[e.a.ClassHandle(s)].Contains(b) {
+			return
+		}
+		if e.a.IsReport(s) {
+			e.emit(e.a.ReportCode(s))
+		}
+		for _, t := range e.a.Succ(s) {
+			if !c.mark[t] {
+				c.mark[t] = true
+				c.next = append(c.next, t)
+			}
+		}
+	}
+	inFrontier := map[automata.StateID]bool{}
+	for _, s := range c.frontier {
+		inFrontier[s] = true
+		consider(s)
+	}
+	if e.offset == 0 {
+		for _, s := range c.sodStarts {
+			if !inFrontier[s] {
+				consider(s)
+			}
+		}
+	}
+	for _, s := range c.allStarts {
+		if !inFrontier[s] {
+			consider(s)
+		}
+	}
+	c.frontier, c.next = c.next, c.frontier
+}
+
+// CountReports runs over input after a Reset and returns the report count.
+func (e *Engine) CountReports(input []byte) int64 {
+	e.Reset()
+	collect := e.CollectReports
+	e.CollectReports = false
+	e.Run(input)
+	e.CollectReports = collect
+	return e.stats.Reports
+}

@@ -1,0 +1,278 @@
+// Package mnrl implements serialization of automata in an MNRL-style JSON
+// format. MNRL (the MNCaRT Network Representation Language) is the
+// interchange format of the paper's open-source toolchain — every
+// AutomataZoo benchmark ships as an MNRL file — so the suite needs to be
+// able to export its generated benchmarks and re-import them bit-for-bit.
+//
+// The schema follows MNRL's shape: a network of nodes, each with an id,
+// node type ("hState" for homogeneous states, "upCounter" for counter
+// elements), enable semantics (onActivateIn / onStartAndActivateIn /
+// always), report status and code, a symbol set (for states), counter
+// threshold/mode (for counters), and an activateOnMatch connection list.
+package mnrl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"automatazoo/internal/automata"
+	"automatazoo/internal/charset"
+)
+
+// Network is the top-level MNRL document.
+type Network struct {
+	ID    string `json:"id"`
+	Nodes []Node `json:"nodes"`
+}
+
+// Node is one automaton element.
+type Node struct {
+	ID         string   `json:"id"`
+	Type       string   `json:"type"`   // "hState" | "upCounter"
+	Enable     string   `json:"enable"` // "onActivateIn" | "onStartAndActivateIn" | "always"
+	Report     bool     `json:"report"`
+	ReportCode int32    `json:"reportId,omitempty"`
+	SymbolSet  string   `json:"symbolSet,omitempty"` // bracket expression
+	Threshold  uint32   `json:"threshold,omitempty"`
+	Mode       string   `json:"mode,omitempty"` // "rollover" | "latch"
+	Activate   []string `json:"activateOnMatch"`
+}
+
+const (
+	enableActivateIn  = "onActivateIn"
+	enableStartOfData = "onStartAndActivateIn"
+	enableAlways      = "always"
+	typeHState        = "hState"
+	typeUpCounter     = "upCounter"
+	modeRollover      = "rollover"
+	modeLatch         = "latch"
+)
+
+func stateName(id automata.StateID) string { return fmt.Sprintf("_%d", id) }
+
+// Export converts an automaton into a Network named id.
+func Export(a *automata.Automaton, id string) *Network {
+	n := &Network{ID: id}
+	for i := 0; i < a.NumStates(); i++ {
+		sid := automata.StateID(i)
+		node := Node{
+			ID:       stateName(sid),
+			Activate: []string{},
+		}
+		for _, t := range a.Succ(sid) {
+			node.Activate = append(node.Activate, stateName(t))
+		}
+		if a.IsReport(sid) {
+			node.Report = true
+			node.ReportCode = a.ReportCode(sid)
+		}
+		if a.Kind(sid) == automata.KindCounter {
+			cfg, _ := a.CounterConfig(sid)
+			node.Type = typeUpCounter
+			node.Enable = enableActivateIn
+			node.Threshold = cfg.Target
+			node.Mode = modeRollover
+			if cfg.Mode == automata.CountLatch {
+				node.Mode = modeLatch
+			}
+		} else {
+			node.Type = typeHState
+			node.SymbolSet = encodeSymbolSet(a.Class(sid))
+			switch a.Start(sid) {
+			case automata.StartAllInput:
+				node.Enable = enableAlways
+			case automata.StartOfData:
+				node.Enable = enableStartOfData
+			default:
+				node.Enable = enableActivateIn
+			}
+		}
+		n.Nodes = append(n.Nodes, node)
+	}
+	return n
+}
+
+// Import reconstructs an automaton from a Network. Node order in the file
+// is not significant; connections may reference nodes defined later.
+func Import(n *Network) (*automata.Automaton, error) {
+	b := automata.NewBuilder()
+	ids := map[string]automata.StateID{}
+	// First pass: create states in file order.
+	for _, node := range n.Nodes {
+		if _, dup := ids[node.ID]; dup {
+			return nil, fmt.Errorf("mnrl: duplicate node id %q", node.ID)
+		}
+		switch node.Type {
+		case typeHState:
+			cls, err := decodeSymbolSet(node.SymbolSet)
+			if err != nil {
+				return nil, fmt.Errorf("mnrl: node %s: %w", node.ID, err)
+			}
+			start := automata.StartNone
+			switch node.Enable {
+			case enableAlways:
+				start = automata.StartAllInput
+			case enableStartOfData:
+				start = automata.StartOfData
+			case enableActivateIn, "":
+			default:
+				return nil, fmt.Errorf("mnrl: node %s: unknown enable %q", node.ID, node.Enable)
+			}
+			ids[node.ID] = b.AddSTE(cls, start)
+		case typeUpCounter:
+			mode := automata.CountRollover
+			switch node.Mode {
+			case modeLatch:
+				mode = automata.CountLatch
+			case modeRollover, "":
+			default:
+				return nil, fmt.Errorf("mnrl: node %s: unknown mode %q", node.ID, node.Mode)
+			}
+			ids[node.ID] = b.AddCounter(node.Threshold, mode)
+		default:
+			return nil, fmt.Errorf("mnrl: node %s: unknown type %q", node.ID, node.Type)
+		}
+		if node.Report {
+			b.SetReport(ids[node.ID], node.ReportCode)
+		}
+	}
+	// Second pass: connections.
+	for _, node := range n.Nodes {
+		from := ids[node.ID]
+		for _, to := range node.Activate {
+			tid, ok := ids[to]
+			if !ok {
+				return nil, fmt.Errorf("mnrl: node %s activates unknown node %q", node.ID, to)
+			}
+			b.AddEdge(from, tid)
+		}
+	}
+	return b.Build()
+}
+
+// Write serializes the network as indented JSON.
+func (n *Network) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(n)
+}
+
+// Read parses a network from JSON.
+func Read(r io.Reader) (*Network, error) {
+	var n Network
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&n); err != nil {
+		return nil, fmt.Errorf("mnrl: %w", err)
+	}
+	return &n, nil
+}
+
+// WriteAutomaton is Export followed by Write.
+func WriteAutomaton(w io.Writer, a *automata.Automaton, id string) error {
+	return Export(a, id).Write(w)
+}
+
+// ReadAutomaton is Read followed by Import.
+func ReadAutomaton(r io.Reader) (*automata.Automaton, error) {
+	n, err := Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return Import(n)
+}
+
+// encodeSymbolSet renders a charset as an exact, machine-reversible
+// bracket expression: sorted \xHH atoms and ranges.
+func encodeSymbolSet(s charset.Set) string {
+	bs := s.Bytes()
+	if len(bs) == 256 {
+		return "*"
+	}
+	out := "["
+	for i := 0; i < len(bs); {
+		j := i
+		for j+1 < len(bs) && bs[j+1] == bs[j]+1 {
+			j++
+		}
+		if j > i {
+			out += fmt.Sprintf("\\x%02x-\\x%02x", bs[i], bs[j])
+		} else {
+			out += fmt.Sprintf("\\x%02x", bs[i])
+		}
+		i = j + 1
+	}
+	return out + "]"
+}
+
+// decodeSymbolSet parses the exact format encodeSymbolSet produces (plus
+// "*" and "[]").
+func decodeSymbolSet(s string) (charset.Set, error) {
+	var out charset.Set
+	if s == "*" {
+		return charset.All(), nil
+	}
+	if len(s) < 2 || s[0] != '[' || s[len(s)-1] != ']' {
+		return out, fmt.Errorf("bad symbol set %q", s)
+	}
+	body := s[1 : len(s)-1]
+	i := 0
+	readByte := func() (byte, error) {
+		if i+4 > len(body) || body[i] != '\\' || body[i+1] != 'x' {
+			return 0, fmt.Errorf("bad symbol atom at %d in %q", i, s)
+		}
+		var v int
+		if _, err := fmt.Sscanf(body[i+2:i+4], "%02x", &v); err != nil {
+			return 0, fmt.Errorf("bad hex in %q", s)
+		}
+		i += 4
+		return byte(v), nil
+	}
+	for i < len(body) {
+		lo, err := readByte()
+		if err != nil {
+			return out, err
+		}
+		if i < len(body) && body[i] == '-' {
+			i++
+			hi, err := readByte()
+			if err != nil {
+				return out, err
+			}
+			if hi < lo {
+				return out, fmt.Errorf("inverted range in %q", s)
+			}
+			out = out.Union(charset.Range(lo, hi))
+			continue
+		}
+		out.Add(lo)
+	}
+	return out, nil
+}
+
+// Validate checks structural invariants of a parsed network before import:
+// unique ids, known node types, resolvable connections. Import also
+// enforces these; Validate lets tools report all problems at once.
+func (n *Network) Validate() []error {
+	var errs []error
+	seen := map[string]bool{}
+	for _, node := range n.Nodes {
+		if seen[node.ID] {
+			errs = append(errs, fmt.Errorf("duplicate id %q", node.ID))
+		}
+		seen[node.ID] = true
+		if node.Type != typeHState && node.Type != typeUpCounter {
+			errs = append(errs, fmt.Errorf("node %s: unknown type %q", node.ID, node.Type))
+		}
+	}
+	for _, node := range n.Nodes {
+		for _, to := range node.Activate {
+			if !seen[to] {
+				errs = append(errs, fmt.Errorf("node %s: dangling connection %q", node.ID, to))
+			}
+		}
+	}
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+	return errs
+}

@@ -1,0 +1,171 @@
+// Package partition splits a benchmark automaton across multiple passes of
+// a capacity-limited spatial device. AutomataZoo deliberately ships
+// benchmarks larger than any one chip ("If benchmarks are too large to fit
+// into the resources of a target spatial architecture, researchers must
+// develop ways to evaluate sequential runs of the partitioned benchmark" —
+// Section III); this package is that mechanism: bin-pack the automaton's
+// connected components into device-sized slices, extract each slice as a
+// standalone automaton, and run the input once per slice, merging reports.
+//
+// Partitioning at component granularity is exact: components share no
+// edges, so running them separately cannot change any report.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"automatazoo/internal/automata"
+	"automatazoo/internal/sim"
+)
+
+// Slice is one device-load: a set of component indices and its state cost.
+type Slice struct {
+	Components []int32
+	States     int
+}
+
+// Plan is a partition of an automaton into capacity-bounded slices.
+type Plan struct {
+	Capacity int
+	Slices   []Slice
+
+	a       *automata.Automaton
+	compIdx []int32 // per-state component
+	sizes   []int
+}
+
+// Partition bin-packs the automaton's components into slices of at most
+// capacity states using first-fit decreasing. It fails if any single
+// component exceeds the capacity (such a component would need
+// intra-component cutting, which changes semantics).
+func Partition(a *automata.Automaton, capacity int) (*Plan, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("partition: capacity must be positive")
+	}
+	sizes, compIdx := a.Components()
+	order := make([]int32, len(sizes))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(x, y int) bool {
+		if sizes[order[x]] != sizes[order[y]] {
+			return sizes[order[x]] > sizes[order[y]]
+		}
+		return order[x] < order[y]
+	})
+	p := &Plan{Capacity: capacity, a: a, compIdx: compIdx, sizes: sizes}
+	for _, c := range order {
+		sz := sizes[c]
+		if sz > capacity {
+			return nil, fmt.Errorf("partition: component %d has %d states, exceeding capacity %d", c, sz, capacity)
+		}
+		placed := false
+		for i := range p.Slices {
+			if p.Slices[i].States+sz <= capacity {
+				p.Slices[i].Components = append(p.Slices[i].Components, c)
+				p.Slices[i].States += sz
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			p.Slices = append(p.Slices, Slice{Components: []int32{c}, States: sz})
+		}
+	}
+	return p, nil
+}
+
+// Passes returns the number of sequential device loads.
+func (p *Plan) Passes() int { return len(p.Slices) }
+
+// Utilization returns the mean fraction of capacity used per slice.
+func (p *Plan) Utilization() float64 {
+	if len(p.Slices) == 0 {
+		return 0
+	}
+	var total float64
+	for _, s := range p.Slices {
+		total += float64(s.States) / float64(p.Capacity)
+	}
+	return total / float64(len(p.Slices))
+}
+
+// Extract materializes slice i as a standalone automaton. Report codes and
+// all element properties are preserved; state IDs are renumbered.
+func (p *Plan) Extract(i int) (*automata.Automaton, error) {
+	if i < 0 || i >= len(p.Slices) {
+		return nil, fmt.Errorf("partition: slice %d out of range", i)
+	}
+	want := map[int32]bool{}
+	for _, c := range p.Slices[i].Components {
+		want[c] = true
+	}
+	b := automata.NewBuilder()
+	newID := make(map[automata.StateID]automata.StateID)
+	n := p.a.NumStates()
+	for s := 0; s < n; s++ {
+		id := automata.StateID(s)
+		if !want[p.compIdx[s]] {
+			continue
+		}
+		var nid automata.StateID
+		if p.a.Kind(id) == automata.KindCounter {
+			cfg, _ := p.a.CounterConfig(id)
+			nid = b.AddCounter(cfg.Target, cfg.Mode)
+		} else {
+			nid = b.AddSTE(p.a.Class(id), p.a.Start(id))
+		}
+		if p.a.IsReport(id) {
+			b.SetReport(nid, p.a.ReportCode(id))
+		}
+		newID[id] = nid
+	}
+	for s := 0; s < n; s++ {
+		id := automata.StateID(s)
+		if !want[p.compIdx[s]] {
+			continue
+		}
+		for _, t := range p.a.Succ(id) {
+			b.AddEdge(newID[id], newID[t])
+		}
+	}
+	return b.Build()
+}
+
+// Result aggregates a sequential multi-pass run.
+type Result struct {
+	Passes  int
+	Symbols int64 // total symbols across all passes
+	Reports int64
+}
+
+// RunSequential executes input once per slice on a fresh NFA engine,
+// invoking onReport (if non-nil) for every report, and returns the
+// aggregate. The union of reports across passes equals a single-pass run
+// of the whole automaton.
+func (p *Plan) RunSequential(input []byte, onReport func(sim.Report)) (Result, error) {
+	res := Result{Passes: p.Passes()}
+	for i := range p.Slices {
+		sub, err := p.Extract(i)
+		if err != nil {
+			return res, err
+		}
+		e := sim.New(sub)
+		e.OnReport = onReport
+		st := e.Run(input)
+		res.Symbols += st.Symbols
+		res.Reports += st.Reports
+	}
+	return res, nil
+}
+
+// EffectiveThroughput models the end-to-end symbol throughput of the
+// partitioned benchmark on a device with the given per-pass symbol rate:
+// every input symbol is streamed once per pass.
+func (p *Plan) EffectiveThroughput(symbolsPerSec float64) float64 {
+	if p.Passes() == 0 {
+		return symbolsPerSec
+	}
+	return symbolsPerSec / float64(p.Passes())
+}

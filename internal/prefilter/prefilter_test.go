@@ -1,0 +1,175 @@
+package prefilter
+
+import (
+	"testing"
+
+	"automatazoo/internal/automata"
+	"automatazoo/internal/clamav"
+	"automatazoo/internal/entity"
+	"automatazoo/internal/regex"
+	"automatazoo/internal/sim"
+	"automatazoo/internal/spm"
+	"automatazoo/internal/yara"
+)
+
+// agree asserts the prefilter scanner reports exactly what plain NFA
+// interpretation reports.
+func agree(t *testing.T, a *automata.Automaton, input []byte) *Scanner {
+	t.Helper()
+	ref := sim.New(a)
+	want := map[[2]int64]int{}
+	ref.OnReport = func(r sim.Report) { want[[2]int64{r.Offset, int64(r.Code)}]++ }
+	ref.Run(input)
+
+	s, err := New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[[2]int64]int{}
+	res := s.Scan(input, func(r sim.Report) { got[[2]int64{r.Offset, int64(r.Code)}]++ })
+	if res.Reports != int64(len(flatten(got))) {
+		t.Fatalf("result count inconsistent: %d vs %d", res.Reports, len(flatten(got)))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("report sets differ: got %d want %d keys\ngot=%v\nwant=%v",
+			len(got), len(want), got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("report %v: got %d want %d", k, got[k], v)
+		}
+	}
+	return s
+}
+
+func flatten(m map[[2]int64]int) []int {
+	var out []int
+	for _, v := range m {
+		for i := 0; i < v; i++ {
+			out = append(out, 1)
+		}
+	}
+	return out
+}
+
+func compilePatterns(t *testing.T, patterns ...string) *automata.Automaton {
+	t.Helper()
+	b := automata.NewBuilder()
+	for i, p := range patterns {
+		parsed, err := regex.Parse(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := regex.CompileInto(b, parsed, int32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestAnchoredLiterals(t *testing.T) {
+	a := compilePatterns(t, "needle", "haystack", "pin")
+	s := agree(t, a, []byte("a needle in the haystack, a pin too; needles"))
+	if s.Anchored() != 3 || s.Unanchored() != 0 {
+		t.Fatalf("anchored=%d unanchored=%d", s.Anchored(), s.Unanchored())
+	}
+}
+
+func TestLiteralPrefixWithTail(t *testing.T) {
+	// Anchor = "error" literal prefix; tail has classes and repeats.
+	a := compilePatterns(t, `error: [0-9]{2,4}`, `warn[a-z]+!`)
+	s := agree(t, a, []byte("error: 17 warning! error: 123456 warnx! error"))
+	if s.Anchored() != 2 {
+		t.Fatalf("anchored=%d", s.Anchored())
+	}
+}
+
+func TestShortAndClassHeadsFallBack(t *testing.T) {
+	// "ab" is below MinAnchor; "[xy]z..." has a class head.
+	a := compilePatterns(t, "ab", "[xy]zzz", "longenough")
+	s := agree(t, a, []byte("ab xzzz yzzz longenough abab"))
+	if s.Anchored() != 1 || s.Unanchored() != 2 {
+		t.Fatalf("anchored=%d unanchored=%d", s.Anchored(), s.Unanchored())
+	}
+}
+
+func TestOverlappingAnchorHits(t *testing.T) {
+	a := compilePatterns(t, "aaa")
+	agree(t, a, []byte("aaaaaa"))
+}
+
+func TestAnchorEqualsWholePattern(t *testing.T) {
+	// Reporting tail inside the literal: pattern == anchor.
+	a := compilePatterns(t, "exact")
+	s := agree(t, a, []byte("exact exact!"))
+	if s.Anchored() != 1 {
+		t.Fatal("whole-literal pattern should anchor")
+	}
+}
+
+func TestAnchoredStartOfDataFallsBack(t *testing.T) {
+	a := compilePatterns(t, "^boot", "plainliteral")
+	s := agree(t, a, []byte("boot plainliteral boot"))
+	if s.Anchored() != 1 || s.Unanchored() != 1 {
+		t.Fatalf("anchored=%d unanchored=%d", s.Anchored(), s.Unanchored())
+	}
+}
+
+func TestCounterComponentsFallBack(t *testing.T) {
+	b := automata.NewBuilder()
+	if err := spm.Build(b, spm.Pattern{Items: []byte{3, 7}},
+		spm.Config{WithCounter: true, SupportThreshold: 2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	a := b.MustBuild()
+	input := []byte{3, spm.Sep, 7, spm.Sep, 7, spm.Sep, 7, spm.Sep}
+	s := agree(t, a, input)
+	if s.Anchored() != 0 {
+		t.Fatal("counter component must not be anchored")
+	}
+}
+
+func TestClamAVEquivalenceAndAcceleration(t *testing.T) {
+	sigs := clamav.Generate(300, 21)
+	a, _, err := clamav.Compile(sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := clamav.DiskImage(1<<16, []clamav.Signature{sigs[5], sigs[200]}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := agree(t, a, img)
+	// Literal-headed hex signatures should nearly all be anchored.
+	if s.Anchored() < 250 {
+		t.Fatalf("anchored=%d of 300, expected most", s.Anchored())
+	}
+}
+
+func TestYARAEquivalence(t *testing.T) {
+	rules := yara.Generate(yara.GenConfig{Rules: 150}, 8)
+	a, _, err := yara.Compile(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := yara.Corpus(1<<15, rules[:3], 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree(t, a, corpus)
+}
+
+func TestEntityEquivalence(t *testing.T) {
+	// Hamming-mesh components have multiple start states → all residual;
+	// the scanner must still be exactly equivalent.
+	names := entity.GenerateNames(40, 3)
+	a, err := entity.Benchmark(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := entity.Stream(names, 20_000, 4)
+	s := agree(t, a, stream)
+	if s.Anchored() != 0 {
+		t.Fatalf("mesh filters unexpectedly anchored: %d", s.Anchored())
+	}
+}

@@ -1,0 +1,238 @@
+// Package protomata implements the protein-motif-search benchmark. It
+// parses the PROSITE pattern language, converts patterns to the suite's
+// regex subset, and compiles them to automata over the 20-letter
+// amino-acid alphabet. The benchmark is the paper's canonical fixed
+// workload: exactly 1,309 motif patterns ("new protein motifs are rarely
+// found, and the real application does not require more patterns"),
+// deliberately NOT inflated to fill an accelerator.
+//
+// PROSITE syntax: elements separated by '-'; an element is an amino-acid
+// letter, a class [LIVM], a negated class {AG}, or the wildcard x; any
+// element may carry a repetition (3) or (2,4); '<' anchors at the sequence
+// start and '>' at its end.
+package protomata
+
+import (
+	"fmt"
+	"strings"
+
+	"automatazoo/internal/automata"
+	"automatazoo/internal/randx"
+	"automatazoo/internal/regex"
+)
+
+// Alphabet is the 20 standard amino acids.
+const Alphabet = "ACDEFGHIKLMNPQRSTVWY"
+
+// Pattern is one PROSITE entry.
+type Pattern struct {
+	ID      string
+	Pattern string
+}
+
+// ToRegex converts a PROSITE pattern to the suite's regex subset.
+func ToRegex(p string) (string, error) {
+	p = strings.TrimSuffix(strings.TrimSpace(p), ".")
+	if p == "" {
+		return "", fmt.Errorf("protomata: empty pattern")
+	}
+	var sb strings.Builder
+	if strings.HasPrefix(p, "<") {
+		sb.WriteByte('^')
+		p = p[1:]
+	}
+	// '>' (end anchor) cannot be observed by a streaming homogeneous
+	// automaton; it is dropped, as the paper's toolchain effectively does.
+	p = strings.TrimSuffix(p, ">")
+	for _, elem := range strings.Split(p, "-") {
+		if elem == "" {
+			return "", fmt.Errorf("protomata: empty element in %q", p)
+		}
+		// Split off a repetition suffix "(n)" or "(n,m)".
+		rep := ""
+		if i := strings.IndexByte(elem, '('); i >= 0 {
+			if !strings.HasSuffix(elem, ")") {
+				return "", fmt.Errorf("protomata: bad repetition in %q", elem)
+			}
+			spec := elem[i+1 : len(elem)-1]
+			elem = elem[:i]
+			if strings.Contains(spec, ",") {
+				rep = "{" + strings.Replace(spec, ",", ",", 1) + "}"
+			} else {
+				rep = "{" + spec + "}"
+			}
+		}
+		switch {
+		case elem == "x" || elem == "X":
+			sb.WriteString("[" + Alphabet + "]")
+		case len(elem) == 1 && strings.ContainsAny(elem, Alphabet):
+			sb.WriteString(elem)
+		case strings.HasPrefix(elem, "[") && strings.HasSuffix(elem, "]"):
+			inner := elem[1 : len(elem)-1]
+			if inner == "" || !allAmino(inner) {
+				return "", fmt.Errorf("protomata: bad class %q", elem)
+			}
+			sb.WriteString("[" + inner + "]")
+		case strings.HasPrefix(elem, "{") && strings.HasSuffix(elem, "}"):
+			inner := elem[1 : len(elem)-1]
+			if inner == "" || !allAmino(inner) {
+				return "", fmt.Errorf("protomata: bad negated class %q", elem)
+			}
+			// Complement within the amino alphabet, not all bytes.
+			var cls strings.Builder
+			for _, c := range Alphabet {
+				if !strings.ContainsRune(inner, c) {
+					cls.WriteRune(c)
+				}
+			}
+			sb.WriteString("[" + cls.String() + "]")
+		default:
+			return "", fmt.Errorf("protomata: bad element %q", elem)
+		}
+		sb.WriteString(rep)
+	}
+	return sb.String(), nil
+}
+
+func allAmino(s string) bool {
+	for _, c := range s {
+		if !strings.ContainsRune(Alphabet, c) {
+			return false
+		}
+	}
+	return true
+}
+
+// PaperPatternCount is the canonical PROSITE workload size.
+const PaperPatternCount = 1309
+
+// Generate synthesizes n PROSITE-like motif patterns with the element mix
+// of real motifs: mostly exact residues, some small classes, wildcards,
+// and bounded wildcard gaps.
+func Generate(n int, seed uint64) []Pattern {
+	rng := randx.New(seed)
+	pats := make([]Pattern, n)
+	for i := range pats {
+		elems := 8 + rng.Intn(10)
+		var parts []string
+		for e := 0; e < elems; e++ {
+			switch rng.Intn(10) {
+			case 0, 1: // class
+				k := 2 + rng.Intn(3)
+				var cls strings.Builder
+				seen := map[byte]bool{}
+				for len(seen) < k {
+					c := Alphabet[rng.Intn(20)]
+					if !seen[c] {
+						seen[c] = true
+						cls.WriteByte(c)
+					}
+				}
+				parts = append(parts, "["+cls.String()+"]")
+			case 2: // negated class
+				parts = append(parts, "{"+string(Alphabet[rng.Intn(20)])+"}")
+			case 3: // wildcard gap
+				lo := 1 + rng.Intn(3)
+				hi := lo + rng.Intn(3)
+				if hi > lo {
+					parts = append(parts, fmt.Sprintf("x(%d,%d)", lo, hi))
+				} else {
+					parts = append(parts, fmt.Sprintf("x(%d)", lo))
+				}
+			case 4: // plain wildcard
+				parts = append(parts, "x")
+			default: // exact residue
+				parts = append(parts, string(Alphabet[rng.Intn(20)]))
+			}
+		}
+		pats[i] = Pattern{
+			ID:      fmt.Sprintf("PS%05d", 10000+i),
+			Pattern: strings.Join(parts, "-") + ".",
+		}
+	}
+	return pats
+}
+
+// Compile builds the benchmark automaton; pattern i reports with code i.
+func Compile(pats []Pattern) (*automata.Automaton, int, error) {
+	b := automata.NewBuilder()
+	skipped := 0
+	for i, p := range pats {
+		rx, err := ToRegex(p.Pattern)
+		if err != nil {
+			skipped++
+			continue
+		}
+		parsed, err := regex.Parse(rx, 0)
+		if err != nil {
+			skipped++
+			continue
+		}
+		if _, err := regex.CompileInto(b, parsed, int32(i)); err != nil {
+			skipped++
+			continue
+		}
+	}
+	a, err := b.Build()
+	return a, skipped, err
+}
+
+// MotifInstance materializes a sequence matching the pattern (first class
+// letters, minimal gaps).
+func MotifInstance(p Pattern, rng *randx.Rand) ([]byte, error) {
+	rx, err := ToRegex(p.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	// Walk our own regex output: classes and exact letters with {n,m}.
+	var out []byte
+	i := 0
+	if strings.HasPrefix(rx, "^") {
+		i = 1
+	}
+	for i < len(rx) {
+		var choices string
+		switch rx[i] {
+		case '[':
+			end := strings.IndexByte(rx[i:], ']')
+			choices = rx[i+1 : i+end]
+			i += end + 1
+		default:
+			choices = string(rx[i])
+			i++
+		}
+		lo := 1
+		if i < len(rx) && rx[i] == '{' {
+			end := strings.IndexByte(rx[i:], '}')
+			spec := rx[i+1 : i+end]
+			fmt.Sscanf(strings.SplitN(spec, ",", 2)[0], "%d", &lo)
+			i += end + 1
+		}
+		for k := 0; k < lo; k++ {
+			out = append(out, choices[rng.Intn(len(choices))])
+		}
+	}
+	return out, nil
+}
+
+// Proteome synthesizes a protein database of n residues with instances of
+// the given motifs planted.
+func Proteome(n int, plant []Pattern, seed uint64) ([]byte, error) {
+	rng := randx.New(seed ^ 0x9707)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = Alphabet[rng.Intn(20)]
+	}
+	for _, p := range plant {
+		inst, err := MotifInstance(p, rng)
+		if err != nil {
+			return nil, err
+		}
+		if len(inst) >= n {
+			continue
+		}
+		pos := rng.Intn(n - len(inst))
+		copy(out[pos:], inst)
+	}
+	return out, nil
+}

@@ -1,0 +1,195 @@
+// Package rf implements the Random Forest benchmarks: decision-tree
+// ensemble training from scratch (CART, gini impurity, best-first leaf
+// growth), native pointer-chasing inference (single- and multi-threaded),
+// and the Tracy-et-al. automata conversion in which every root-to-leaf
+// path becomes a fixed-length chain over threshold-packed input symbols.
+//
+// The paper trains on MNIST; this reproduction substitutes a synthetic
+// 28×28 handwritten-digit-like dataset (deterministic, seeded) that
+// preserves what the experiments measure: feature-count ↔ runtime and
+// leaf-count ↔ state-count trade-offs (Table II) and automata-vs-native
+// classification throughput (Table IV).
+package rf
+
+import "automatazoo/internal/randx"
+
+// Image geometry of the synthetic digit dataset.
+const (
+	Side        = 28
+	NumFeatures = Side * Side
+	NumClasses  = 10
+)
+
+// glyphs are coarse 8×8 stencils of the ten digits, upscaled and jittered
+// into 28×28 grayscale images.
+var glyphs = [NumClasses][8]string{
+	{ // 0
+		".####...",
+		"#....#..",
+		"#....#..",
+		"#....#..",
+		"#....#..",
+		"#....#..",
+		"#....#..",
+		".####...",
+	},
+	{ // 1
+		"...#....",
+		"..##....",
+		".#.#....",
+		"...#....",
+		"...#....",
+		"...#....",
+		"...#....",
+		".#####..",
+	},
+	{ // 2
+		".####...",
+		"#....#..",
+		".....#..",
+		"....#...",
+		"...#....",
+		"..#.....",
+		".#......",
+		"######..",
+	},
+	{ // 3
+		".####...",
+		"#....#..",
+		".....#..",
+		"..###...",
+		".....#..",
+		".....#..",
+		"#....#..",
+		".####...",
+	},
+	{ // 4
+		"....#...",
+		"...##...",
+		"..#.#...",
+		".#..#...",
+		"######..",
+		"....#...",
+		"....#...",
+		"....#...",
+	},
+	{ // 5
+		"######..",
+		"#.......",
+		"#.......",
+		"#####...",
+		".....#..",
+		".....#..",
+		"#....#..",
+		".####...",
+	},
+	{ // 6
+		"..###...",
+		".#......",
+		"#.......",
+		"#####...",
+		"#....#..",
+		"#....#..",
+		"#....#..",
+		".####...",
+	},
+	{ // 7
+		"######..",
+		".....#..",
+		"....#...",
+		"....#...",
+		"...#....",
+		"...#....",
+		"..#.....",
+		"..#.....",
+	},
+	{ // 8
+		".####...",
+		"#....#..",
+		"#....#..",
+		".####...",
+		"#....#..",
+		"#....#..",
+		"#....#..",
+		".####...",
+	},
+	{ // 9
+		".####...",
+		"#....#..",
+		"#....#..",
+		".#####..",
+		".....#..",
+		".....#..",
+		"....#...",
+		".###....",
+	},
+}
+
+// Sample is one labelled image: 784 grayscale byte features.
+type Sample struct {
+	Pixels []byte // length NumFeatures
+	Label  int    // 0..9
+}
+
+// Dataset is a labelled sample collection.
+type Dataset struct {
+	Samples []Sample
+}
+
+// GenerateDataset synthesizes n digit images, cycling classes, with random
+// sub-pixel shifts, per-image intensity, and additive noise.
+func GenerateDataset(n int, seed uint64) Dataset {
+	rng := randx.New(seed)
+	ds := Dataset{Samples: make([]Sample, n)}
+	for i := range ds.Samples {
+		label := i % NumClasses
+		ds.Samples[i] = Sample{Pixels: renderDigit(rng, label), Label: label}
+	}
+	randx.Shuffle(rng, ds.Samples)
+	return ds
+}
+
+// renderDigit rasterizes the glyph for label into a jittered 28×28 image.
+func renderDigit(rng *randx.Rand, label int) []byte {
+	img := make([]byte, NumFeatures)
+	g := glyphs[label]
+	dx := rng.IntRange(-2, 2)
+	dy := rng.IntRange(-2, 2)
+	intensity := 160 + rng.Intn(96) // 160..255
+	// Upscale 8×8 → 24×24 (3×), centered with jitter.
+	for gy := 0; gy < 8; gy++ {
+		for gx := 0; gx < 8; gx++ {
+			if g[gy][gx] != '#' {
+				continue
+			}
+			for sy := 0; sy < 3; sy++ {
+				for sx := 0; sx < 3; sx++ {
+					x := 2 + gx*3 + sx + dx
+					y := 2 + gy*3 + sy + dy
+					if x < 0 || x >= Side || y < 0 || y >= Side {
+						continue
+					}
+					v := intensity - rng.Intn(40)
+					img[y*Side+x] = byte(v)
+				}
+			}
+		}
+	}
+	// Additive background noise.
+	for p := range img {
+		if img[p] == 0 && rng.Float64() < 0.06 {
+			img[p] = byte(rng.Intn(90))
+		} else if img[p] > 0 && rng.Float64() < 0.04 {
+			img[p] = 0 // dropout noise
+		}
+	}
+	return img
+}
+
+// Split partitions the dataset into train and test subsets.
+func (d Dataset) Split(trainFrac float64) (train, test Dataset) {
+	cut := int(float64(len(d.Samples)) * trainFrac)
+	train.Samples = d.Samples[:cut]
+	test.Samples = d.Samples[cut:]
+	return train, test
+}

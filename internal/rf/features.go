@@ -1,0 +1,134 @@
+package rf
+
+import "sort"
+
+// FeatureModel is the preprocessing stage shared by native and automata
+// inference: it selects the top-F most discriminative features and
+// quantizes each into Q levels at per-feature quantile thresholds. Trees
+// are trained on the quantized values, so automata built from the same
+// trees classify identically to native inference by construction.
+type FeatureModel struct {
+	Features   []int    // selected original feature indices, fixed order
+	Thresholds [][]byte // per selected feature: Q-1 ascending cut points
+	Levels     int      // Q
+}
+
+// SelectFeatures builds a FeatureModel choosing the f highest-scoring
+// features (one-way ANOVA-style F score: between-class variance of class
+// means over pooled within-class variance) quantized to q levels.
+func SelectFeatures(train Dataset, f, q int) FeatureModel {
+	if q < 2 {
+		q = 2
+	}
+	n := len(train.Samples)
+	// Per-feature, per-class sums for the score.
+	var (
+		classCount [NumClasses]float64
+		sum        = make([][NumClasses]float64, NumFeatures)
+		sqSum      = make([]float64, NumFeatures)
+		totSum     = make([]float64, NumFeatures)
+	)
+	for _, s := range train.Samples {
+		classCount[s.Label]++
+		for p, v := range s.Pixels {
+			fv := float64(v)
+			sum[p][s.Label] += fv
+			totSum[p] += fv
+			sqSum[p] += fv * fv
+		}
+	}
+	type scored struct {
+		idx   int
+		score float64
+	}
+	scores := make([]scored, NumFeatures)
+	for p := 0; p < NumFeatures; p++ {
+		grand := totSum[p] / float64(n)
+		var between, within float64
+		within = sqSum[p]
+		for c := 0; c < NumClasses; c++ {
+			if classCount[c] == 0 {
+				continue
+			}
+			mean := sum[p][c] / classCount[c]
+			between += classCount[c] * (mean - grand) * (mean - grand)
+			within -= classCount[c] * mean * mean
+		}
+		if within < 1e-9 {
+			within = 1e-9
+		}
+		scores[p] = scored{p, between / within}
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].score != scores[j].score {
+			return scores[i].score > scores[j].score
+		}
+		return scores[i].idx < scores[j].idx
+	})
+	if f > NumFeatures {
+		f = NumFeatures
+	}
+	fm := FeatureModel{Levels: q}
+	fm.Features = make([]int, f)
+	for i := 0; i < f; i++ {
+		fm.Features[i] = scores[i].idx
+	}
+	sort.Ints(fm.Features) // fixed raster order for the input stream
+
+	// Quantile thresholds per selected feature.
+	fm.Thresholds = make([][]byte, f)
+	vals := make([]byte, n)
+	for i, p := range fm.Features {
+		for j, s := range train.Samples {
+			vals[j] = s.Pixels[p]
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+		cuts := make([]byte, 0, q-1)
+		for k := 1; k < q; k++ {
+			c := vals[k*n/q]
+			if c == 0 {
+				// Sparse features (most pixels are background zero): a cut
+				// at 0 would make the level constant; "pixel on" is the
+				// informative threshold.
+				c = 1
+			}
+			if len(cuts) == 0 || c > cuts[len(cuts)-1] {
+				cuts = append(cuts, c)
+			}
+		}
+		if len(cuts) == 0 {
+			// Degenerate feature: one nominal cut keeps the bit layout
+			// uniform.
+			cuts = append(cuts, 128)
+		}
+		fm.Thresholds[i] = cuts
+	}
+	return fm
+}
+
+// NumSelected returns the number of selected features.
+func (fm FeatureModel) NumSelected() int { return len(fm.Features) }
+
+// Quantize maps a raw sample to its per-selected-feature level vector
+// (values 0..Levels-1).
+func (fm FeatureModel) Quantize(pixels []byte) []uint8 {
+	out := make([]uint8, len(fm.Features))
+	fm.QuantizeInto(pixels, out)
+	return out
+}
+
+// QuantizeInto is Quantize without allocation.
+func (fm FeatureModel) QuantizeInto(pixels []byte, out []uint8) {
+	for i, p := range fm.Features {
+		v := pixels[p]
+		lvl := uint8(0)
+		for _, c := range fm.Thresholds[i] {
+			if v >= c {
+				lvl++
+			} else {
+				break
+			}
+		}
+		out[i] = lvl
+	}
+}

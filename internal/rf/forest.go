@@ -1,0 +1,149 @@
+package rf
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"automatazoo/internal/randx"
+)
+
+// Variant is a Random Forest benchmark configuration (Table II). Levels is
+// the per-feature quantization (2 ⇒ 1 bit per feature in the automata
+// input encoding, 4 ⇒ 2 bits).
+type Variant struct {
+	Name      string
+	Features  int
+	MaxLeaves int
+	Trees     int
+	Levels    int
+}
+
+// The paper's three benchmark variants. A and B differ in feature count
+// (runtime); B and C differ in leaf budget and threshold resolution
+// (accuracy and state count).
+var (
+	VariantA = Variant{Name: "A", Features: 270, MaxLeaves: 400, Trees: 20, Levels: 2}
+	VariantB = Variant{Name: "B", Features: 200, MaxLeaves: 400, Trees: 20, Levels: 2}
+	VariantC = Variant{Name: "C", Features: 200, MaxLeaves: 800, Trees: 20, Levels: 4}
+)
+
+// Model is a trained forest plus its feature pipeline.
+type Model struct {
+	Variant Variant
+	FM      FeatureModel
+	Trees   []*Tree
+}
+
+// Train fits a model: select and quantize features, then grow Trees CART
+// trees on bootstrap resamples.
+func Train(train Dataset, v Variant, seed uint64) (*Model, error) {
+	if len(train.Samples) == 0 {
+		return nil, fmt.Errorf("rf: empty training set")
+	}
+	if v.Trees <= 0 || v.Features <= 0 || v.MaxLeaves < 2 {
+		return nil, fmt.Errorf("rf: bad variant %+v", v)
+	}
+	rng := randx.New(seed)
+	fm := SelectFeatures(train, v.Features, v.Levels)
+	X := make([][]uint8, len(train.Samples))
+	y := make([]int, len(train.Samples))
+	for i, s := range train.Samples {
+		X[i] = fm.Quantize(s.Pixels)
+		y[i] = s.Label
+	}
+	m := &Model{Variant: v, FM: fm}
+	cfg := TrainConfig{MaxLeaves: v.MaxLeaves}
+	for t := 0; t < v.Trees; t++ {
+		trng := rng.Fork()
+		// Bootstrap resample.
+		bx := make([][]uint8, len(X))
+		by := make([]int, len(y))
+		for i := range bx {
+			j := trng.Intn(len(X))
+			bx[i] = X[j]
+			by[i] = y[j]
+		}
+		m.Trees = append(m.Trees, TrainTree(bx, by, v.Levels, cfg, trng))
+	}
+	return m, nil
+}
+
+// PredictQuantized runs native majority-vote inference on an
+// already-quantized sample.
+func (m *Model) PredictQuantized(x []uint8) int {
+	var votes [NumClasses]int
+	for _, t := range m.Trees {
+		votes[t.Predict(x)]++
+	}
+	best, bestV := 0, -1
+	for c, v := range votes {
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best
+}
+
+// Predict quantizes and classifies a raw sample.
+func (m *Model) Predict(pixels []byte) int {
+	return m.PredictQuantized(m.FM.Quantize(pixels))
+}
+
+// PredictBatch classifies samples natively with the given parallelism
+// (0 ⇒ GOMAXPROCS), returning per-sample predictions. This is the
+// "Scikit-Learn (MT)" stand-in of Table IV.
+func (m *Model) PredictBatch(samples []Sample, workers int) []int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]int, len(samples))
+	var wg sync.WaitGroup
+	chunk := (len(samples) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(samples) {
+			hi = len(samples)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			buf := make([]uint8, m.FM.NumSelected())
+			for i := lo; i < hi; i++ {
+				m.FM.QuantizeInto(samples[i].Pixels, buf)
+				out[i] = m.PredictQuantized(buf)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Accuracy scores the model on a labelled dataset.
+func (m *Model) Accuracy(test Dataset) float64 {
+	if len(test.Samples) == 0 {
+		return 0
+	}
+	right := 0
+	buf := make([]uint8, m.FM.NumSelected())
+	for _, s := range test.Samples {
+		m.FM.QuantizeInto(s.Pixels, buf)
+		if m.PredictQuantized(buf) == s.Label {
+			right++
+		}
+	}
+	return float64(right) / float64(len(test.Samples))
+}
+
+// TotalLeaves sums leaf counts across trees (the automaton's chain count).
+func (m *Model) TotalLeaves() int {
+	n := 0
+	for _, t := range m.Trees {
+		n += t.Leaves()
+	}
+	return n
+}

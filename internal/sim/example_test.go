@@ -1,0 +1,30 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"automatazoo/internal/automata"
+	"automatazoo/internal/charset"
+	"automatazoo/internal/sim"
+)
+
+// Build a two-state automaton by hand and profile its execution — the
+// active-set statistic is Table I's CPU-work proxy.
+func ExampleEngine() {
+	b := automata.NewBuilder()
+	h := b.AddSTE(charset.Single('h'), automata.StartAllInput)
+	i := b.AddSTE(charset.Single('i'), automata.StartNone)
+	b.AddEdge(h, i)
+	b.SetReport(i, 1)
+	a, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+
+	e := sim.New(a)
+	st := e.Run([]byte("hi ho hi"))
+	fmt.Printf("symbols=%d reports=%d active/sym=%.2f\n",
+		st.Symbols, st.Reports, st.ActiveAvg())
+	// Output:
+	// symbols=8 reports=2 active/sym=0.62
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+
+	"automatazoo/internal/automata"
+	"automatazoo/internal/charset"
+)
+
+// The NoStartIndex ablation path must be behaviourally identical to the
+// indexed path.
+func TestNoStartIndexEquivalence(t *testing.T) {
+	b := automata.NewBuilder()
+	for i, lit := range []string{"abc", "bca", "cab", "aa"} {
+		var prev automata.StateID = automata.NoState
+		for j := 0; j < len(lit); j++ {
+			st := automata.StartNone
+			if j == 0 {
+				st = automata.StartAllInput
+			}
+			id := b.AddSTE(charset.Single(lit[j]), st)
+			if prev != automata.NoState {
+				b.AddEdge(prev, id)
+			}
+			prev = id
+		}
+		b.SetReport(prev, int32(i))
+	}
+	a := b.MustBuild()
+	input := []byte("abcabcaabca")
+
+	indexed := New(a)
+	indexed.CollectReports = true
+	indexed.Run(input)
+
+	naive := NewWithOptions(a, Options{NoStartIndex: true})
+	naive.CollectReports = true
+	naive.Run(input)
+
+	ri, rn := indexed.Reports(), naive.Reports()
+	if len(ri) != len(rn) {
+		t.Fatalf("report counts differ: %d vs %d", len(ri), len(rn))
+	}
+	for i := range ri {
+		if ri[i] != rn[i] {
+			t.Fatalf("report %d differs: %+v vs %+v", i, ri[i], rn[i])
+		}
+	}
+	// The naive path must charge the start states to the Enabled stat.
+	if naive.Stats().Enabled <= indexed.Stats().Enabled {
+		t.Fatalf("naive path should report more enabled work: %d vs %d",
+			naive.Stats().Enabled, indexed.Stats().Enabled)
+	}
+}

@@ -1,0 +1,402 @@
+// Package sim implements a VASim-equivalent execution engine for
+// homogeneous automata: cycle-accurate active-set NFA interpretation with
+// report capture and the dynamic profiling counters (active set, report
+// rate) that the AutomataZoo paper's Table I and Figure 1 are built from.
+//
+// The engine follows the Micron-AP execution model:
+//
+//	per input symbol:
+//	  enabled ∧ class-match  → active
+//	  active ∧ reporting     → report(offset, code)
+//	  active                 → enable STE successors (next symbol),
+//	                           pulse counter successors (this symbol)
+//	  counter at target      → fire (enable successors / report), then
+//	                           roll over or latch
+//
+// Two optimizations make paper-scale benchmarks (ClamAV: 2.3M states, 33k
+// always-on subgraphs) simulable without changing semantics:
+//
+//   - all-input start states are never iterated; a 256-entry byte→starts
+//     index yields exactly the matching ones per symbol, and
+//   - the enabled frontier is a dense list deduplicated with generation
+//     marks, so per-symbol cost is O(frontier + matches), not O(states).
+package sim
+
+import (
+	"automatazoo/internal/automata"
+	"automatazoo/internal/charset"
+)
+
+// Report records one match: the automaton entered a reporting state (or a
+// reporting counter fired) at the given input offset.
+type Report struct {
+	Offset int64 // 0-based index of the symbol that caused the report
+	State  automata.StateID
+	Code   int32
+}
+
+// Stats aggregates the dynamic profile of a run.
+type Stats struct {
+	// Symbols is the number of input symbols consumed.
+	Symbols int64
+	// Enabled is the summed size of the per-symbol enabled frontier,
+	// excluding all-input start states (which are enabled by definition
+	// and cost nothing in the indexed engine). Enabled/Symbols is the
+	// CPU-work proxy for sequential engines.
+	Enabled int64
+	// Active is the summed count of states that matched per symbol,
+	// including start states. Active/Symbols is the paper's "active set".
+	Active int64
+	// CounterPulses counts counter increment events.
+	CounterPulses int64
+	// Reports counts emitted reports.
+	Reports int64
+}
+
+// EnabledAvg returns mean enabled-frontier size per symbol.
+func (s Stats) EnabledAvg() float64 {
+	if s.Symbols == 0 {
+		return 0
+	}
+	return float64(s.Enabled) / float64(s.Symbols)
+}
+
+// ActiveAvg returns the mean number of matching states per symbol — the
+// paper's "active set" column.
+func (s Stats) ActiveAvg() float64 {
+	if s.Symbols == 0 {
+		return 0
+	}
+	return float64(s.Active) / float64(s.Symbols)
+}
+
+// ReportRate returns reports per input symbol.
+func (s Stats) ReportRate() float64 {
+	if s.Symbols == 0 {
+		return 0
+	}
+	return float64(s.Reports) / float64(s.Symbols)
+}
+
+// Engine executes one automaton over byte streams. It is reusable across
+// runs (Reset) but not safe for concurrent use; run parallel streams with
+// one Engine each (the frozen Automaton is shared and immutable).
+type Engine struct {
+	a    *automata.Automaton
+	sets []charset.Set    // interned class storage
+	css  []charset.Handle // per-state class handle
+	succ [][]automata.StateID
+
+	isCounter []bool
+	isReport  []bool
+	code      []int32
+
+	startIdx    [256][]automata.StateID // all-input starts matching each byte
+	allStarts   []automata.StateID      // used instead when NoStartIndex
+	startOfData []automata.StateID
+
+	// Frontier state. mark[i]==gen means state i is in the next frontier;
+	// amark[i]==gen means state i already activated this cycle (a state can
+	// be both an all-input start and a successor — it must act once).
+	frontier []automata.StateID
+	next     []automata.StateID
+	mark     []uint32
+	amark    []uint32
+	gen      uint32
+
+	// Counter runtime state.
+	counterVal    map[automata.StateID]uint32
+	counterCfg    map[automata.StateID]automata.Counter
+	counterPulsed map[automata.StateID]bool // pulsed this cycle (dedupe)
+	latched       map[automata.StateID]bool
+
+	offset int64
+
+	// CollectReports controls whether Run returns the report list. Count
+	// and rate statistics are always maintained.
+	CollectReports bool
+	// MaxReports bounds the collected report list (0 = unlimited).
+	MaxReports int
+	// OnReport, if set, is invoked for every report regardless of
+	// CollectReports.
+	OnReport func(Report)
+	// CodeCounts, if non-nil, accumulates per-report-code counts (used by
+	// the Snort report-rate experiment).
+	CodeCounts map[int32]int64
+
+	reports []Report
+	stats   Stats
+}
+
+// Options tune the engine's internal strategies; the zero value is the
+// production configuration. The Disable* knob exists for the ablation
+// benchmarks quantifying the design choice.
+type Options struct {
+	// NoStartIndex disables the byte→starts index: every all-input start
+	// state is tested against every symbol, the naive strategy the index
+	// replaces.
+	NoStartIndex bool
+}
+
+// New returns an engine for a. The automaton is analyzed once; subsequent
+// runs reuse the prepared indexes.
+func New(a *automata.Automaton) *Engine {
+	return NewWithOptions(a, Options{})
+}
+
+// NewWithOptions is New with explicit strategy options.
+func NewWithOptions(a *automata.Automaton, opts Options) *Engine {
+	n := a.NumStates()
+	e := &Engine{
+		a:             a,
+		sets:          a.Table().Sets(),
+		css:           make([]charset.Handle, n),
+		succ:          make([][]automata.StateID, n),
+		isCounter:     make([]bool, n),
+		isReport:      make([]bool, n),
+		code:          make([]int32, n),
+		mark:          make([]uint32, n),
+		amark:         make([]uint32, n),
+		counterVal:    map[automata.StateID]uint32{},
+		counterCfg:    map[automata.StateID]automata.Counter{},
+		counterPulsed: map[automata.StateID]bool{},
+		latched:       map[automata.StateID]bool{},
+	}
+	for i := 0; i < n; i++ {
+		id := automata.StateID(i)
+		e.css[id] = a.ClassHandle(id)
+		e.succ[id] = a.Succ(id)
+		e.isReport[id] = a.IsReport(id)
+		e.code[id] = a.ReportCode(id)
+		if a.Kind(id) == automata.KindCounter {
+			e.isCounter[id] = true
+			cfg, _ := a.CounterConfig(id)
+			e.counterCfg[id] = cfg
+		}
+	}
+	for _, s := range a.Starts() {
+		switch a.Start(s) {
+		case automata.StartAllInput:
+			if opts.NoStartIndex {
+				e.allStarts = append(e.allStarts, s)
+				continue
+			}
+			cls := e.sets[e.css[s]]
+			for c := 0; c < 256; c++ {
+				if cls.Contains(byte(c)) {
+					e.startIdx[c] = append(e.startIdx[c], s)
+				}
+			}
+		case automata.StartOfData:
+			e.startOfData = append(e.startOfData, s)
+		}
+	}
+	e.Reset()
+	return e
+}
+
+// Automaton returns the automaton the engine executes.
+func (e *Engine) Automaton() *automata.Automaton { return e.a }
+
+// Reset clears all runtime state: the frontier, counters, latches, offset,
+// statistics, and any collected reports. The next symbol consumed is
+// treated as the start of data.
+func (e *Engine) Reset() {
+	e.frontier = e.frontier[:0]
+	e.next = e.next[:0]
+	e.gen++
+	if e.gen < 2 { // wrapped (or first use): clear marks, keep gen >= 2
+		for i := range e.mark {
+			e.mark[i] = 0
+			e.amark[i] = 0
+		}
+		e.gen = 2
+	}
+	clear(e.counterVal)
+	clear(e.counterPulsed)
+	clear(e.latched)
+	e.offset = 0
+	e.stats = Stats{}
+	e.reports = e.reports[:0]
+}
+
+// Stats returns the statistics accumulated since the last Reset.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Reports returns the reports collected since the last Reset (only
+// populated when CollectReports is set).
+func (e *Engine) Reports() []Report { return e.reports }
+
+// Run consumes the entire input and returns the accumulated statistics.
+// It may be called repeatedly to continue the same logical stream.
+func (e *Engine) Run(input []byte) Stats {
+	for _, b := range input {
+		e.Step(b)
+	}
+	return e.stats
+}
+
+func (e *Engine) emit(id automata.StateID) {
+	e.stats.Reports++
+	if e.CodeCounts != nil {
+		e.CodeCounts[e.code[id]]++
+	}
+	r := Report{Offset: e.offset, State: id, Code: e.code[id]}
+	if e.OnReport != nil {
+		e.OnReport(r)
+	}
+	if e.CollectReports && (e.MaxReports == 0 || len(e.reports) < e.MaxReports) {
+		e.reports = append(e.reports, r)
+	}
+}
+
+// enable puts id on the next-symbol frontier (deduplicated).
+func (e *Engine) enable(id automata.StateID) {
+	if e.mark[id] != e.gen {
+		e.mark[id] = e.gen
+		e.next = append(e.next, id)
+	}
+}
+
+// activate processes a state that matched the current symbol. Activation is
+// idempotent within a cycle.
+func (e *Engine) activate(id automata.StateID) {
+	if e.amark[id] == e.gen {
+		return
+	}
+	e.amark[id] = e.gen
+	e.stats.Active++
+	if e.isReport[id] {
+		e.emit(id)
+	}
+	for _, t := range e.succ[id] {
+		if e.isCounter[t] {
+			e.pulse(t)
+		} else {
+			e.enable(t)
+		}
+	}
+}
+
+// pulse delivers a count-enable to a counter (at most one increment per
+// counter per cycle, per the AP model).
+func (e *Engine) pulse(id automata.StateID) {
+	if e.counterPulsed[id] {
+		return
+	}
+	e.counterPulsed[id] = true
+	e.stats.CounterPulses++
+}
+
+// fireCounters resolves end-of-cycle counter increments.
+func (e *Engine) fireCounters() {
+	if len(e.counterPulsed) == 0 {
+		return
+	}
+	for id := range e.counterPulsed {
+		delete(e.counterPulsed, id)
+		if e.latched[id] {
+			continue
+		}
+		cfg := e.counterCfg[id]
+		v := e.counterVal[id] + 1
+		if v < cfg.Target {
+			e.counterVal[id] = v
+			continue
+		}
+		// Fire.
+		if e.isReport[id] {
+			e.emit(id)
+		}
+		for _, t := range e.succ[id] {
+			if e.isCounter[t] {
+				// Counter-to-counter chaining: treat as an immediate pulse
+				// next cycle is not modeled; chain fires in the same cycle.
+				e.counterVal[t]++
+			} else {
+				e.enable(t)
+			}
+		}
+		if cfg.Mode == automata.CountRollover {
+			e.counterVal[id] = 0
+		} else {
+			e.latched[id] = true
+			e.counterVal[id] = cfg.Target
+		}
+	}
+}
+
+// Step consumes one input symbol.
+func (e *Engine) Step(b byte) {
+	e.stats.Symbols++
+	// Start-of-data states participate only on the first symbol; they are
+	// part of the enabled frontier conceptually.
+	if e.offset == 0 {
+		for _, s := range e.startOfData {
+			e.stats.Enabled++
+			if e.sets[e.css[s]].Contains(b) {
+				e.activate(s)
+			}
+		}
+	}
+	// All-input starts, via the byte index: only matching ones are touched.
+	for _, s := range e.startIdx[b] {
+		e.activate(s)
+	}
+	// Ablation path (NoStartIndex): test every all-input start per symbol.
+	for _, s := range e.allStarts {
+		e.stats.Enabled++
+		if e.sets[e.css[s]].Contains(b) {
+			e.activate(s)
+		}
+	}
+	// Previously-enabled states.
+	e.stats.Enabled += int64(len(e.frontier))
+	for _, s := range e.frontier {
+		if e.sets[e.css[s]].Contains(b) {
+			e.activate(s)
+		}
+	}
+	e.fireCounters()
+	// Swap frontiers and advance the generation so next-cycle enables
+	// re-mark from scratch.
+	e.frontier, e.next = e.next, e.frontier[:0]
+	e.gen++
+	if e.gen < 2 { // wrapped: clear marks, keep gen >= 2 for EnableState
+		for i := range e.mark {
+			e.mark[i] = 0
+			e.amark[i] = 0
+		}
+		e.gen = 2
+	}
+	e.offset++
+}
+
+// EnableState places id on the frontier for the NEXT Step call, as if an
+// active predecessor had enabled it. This is the hook context-sensitive
+// rule engines use to arm a secondary automaton when a trigger pattern
+// reports (the paper's §XI future-work direction). Call it between Step
+// calls (or from OnReport of another engine); duplicates are coalesced.
+func (e *Engine) EnableState(id automata.StateID) {
+	// The upcoming frontier was marked with the previous generation (it
+	// was built as "next" during the last Step). gen is kept >= 2, so
+	// gen-1 never collides with the cleared-mark value 0.
+	prev := e.gen - 1
+	if e.mark[id] == prev {
+		return
+	}
+	e.mark[id] = prev
+	e.frontier = append(e.frontier, id)
+}
+
+// CountReports runs the engine over input without collecting report
+// structures and returns only the number of reports. The engine is Reset
+// first.
+func (e *Engine) CountReports(input []byte) int64 {
+	e.Reset()
+	collect := e.CollectReports
+	e.CollectReports = false
+	e.Run(input)
+	e.CollectReports = collect
+	return e.stats.Reports
+}

@@ -1,0 +1,142 @@
+// Package stats computes the per-benchmark statistics reported in the
+// paper's Table I: static graph structure (states, edges, subgraphs,
+// subgraph-size distribution), the prefix-merged "compressed" state count,
+// and the dynamic active set measured by simulating the benchmark on its
+// standard input.
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"automatazoo/internal/automata"
+	"automatazoo/internal/sim"
+	"automatazoo/internal/transform"
+)
+
+// Static describes an automaton's graph structure (the static columns of
+// Table I).
+type Static struct {
+	States       int
+	Edges        int
+	EdgesPerNode float64
+	Subgraphs    int
+	AvgSize      float64
+	StdDevSize   float64
+	Counters     int
+	StartStates  int
+	ReportStates int
+}
+
+// Compute returns the static statistics of a.
+func Compute(a *automata.Automaton) Static {
+	sizes, _ := a.Components()
+	s := Static{
+		States:       a.NumStates(),
+		Edges:        a.NumEdges(),
+		Subgraphs:    len(sizes),
+		Counters:     a.NumCounters(),
+		StartStates:  len(a.Starts()),
+		ReportStates: len(a.Reports()),
+	}
+	if s.States > 0 {
+		s.EdgesPerNode = float64(s.Edges) / float64(s.States)
+	}
+	if len(sizes) > 0 {
+		var sum float64
+		for _, sz := range sizes {
+			sum += float64(sz)
+		}
+		s.AvgSize = sum / float64(len(sizes))
+		var varSum float64
+		for _, sz := range sizes {
+			d := float64(sz) - s.AvgSize
+			varSum += d * d
+		}
+		s.StdDevSize = math.Sqrt(varSum / float64(len(sizes)))
+	}
+	return s
+}
+
+// Compression reports prefix-merge results: the compressed state count and
+// the fraction of states removed (Table I's "Compr. factor": 0.20x means
+// 20% of states were removed).
+type Compression struct {
+	CompressedStates int
+	Factor           float64
+}
+
+// Compress runs VASim's standard prefix-merge optimization and reports the
+// compression achieved.
+func Compress(a *automata.Automaton) Compression {
+	m, removed := transform.PrefixMerge(a)
+	c := Compression{CompressedStates: m.NumStates()}
+	if a.NumStates() > 0 {
+		c.Factor = float64(removed) / float64(a.NumStates())
+	}
+	return c
+}
+
+// Dynamic describes the simulation-derived columns of Table I.
+type Dynamic struct {
+	Symbols    int64
+	ActiveSet  float64 // mean matching states per symbol (paper's column)
+	EnabledSet float64 // mean enabled frontier per symbol
+	Reports    int64
+	ReportRate float64
+}
+
+// Simulate runs a on input with a fresh engine and returns the dynamic
+// profile.
+func Simulate(a *automata.Automaton, input []byte) Dynamic {
+	return SimulateSegments(a, [][]byte{input})
+}
+
+// SimulateSegments runs each segment as an independent stream (the engine
+// is reset between segments, as in per-classification workloads) and
+// aggregates the dynamic profile across all of them.
+func SimulateSegments(a *automata.Automaton, segments [][]byte) Dynamic {
+	e := sim.New(a)
+	var total sim.Stats
+	for _, seg := range segments {
+		e.Reset()
+		st := e.Run(seg)
+		total.Symbols += st.Symbols
+		total.Enabled += st.Enabled
+		total.Active += st.Active
+		total.Reports += st.Reports
+		total.CounterPulses += st.CounterPulses
+	}
+	return Dynamic{
+		Symbols:    total.Symbols,
+		ActiveSet:  total.ActiveAvg(),
+		EnabledSet: total.EnabledAvg(),
+		Reports:    total.Reports,
+		ReportRate: total.ReportRate(),
+	}
+}
+
+// Row is one full Table-I row.
+type Row struct {
+	Name   string
+	Domain string
+	Input  string
+	Static
+	Compression
+	Dynamic
+}
+
+// Format renders the row in the layout of Table I.
+func (r Row) Format() string {
+	return fmt.Sprintf("%-22s %-28s %9d %9d %6.2f %8d %8.2f %8.2f %9d %6.2fx %10.3f",
+		r.Name, r.Domain, r.States, r.Edges, r.EdgesPerNode,
+		r.Subgraphs, r.AvgSize, r.StdDevSize,
+		r.CompressedStates, r.Factor, r.ActiveSet)
+}
+
+// Header returns the Table-I column header matching Format.
+func Header() string {
+	return fmt.Sprintf("%-22s %-28s %9s %9s %6s %8s %8s %8s %9s %7s %10s",
+		"Benchmark", "Domain", "States", "Edges", "E/N",
+		"Subgr", "AvgSz", "StdDev", "ComprSt", "Factor", "ActiveSet")
+}

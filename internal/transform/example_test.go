@@ -1,0 +1,34 @@
+package transform_test
+
+import (
+	"fmt"
+
+	"automatazoo/internal/automata"
+	"automatazoo/internal/regex"
+	"automatazoo/internal/transform"
+)
+
+// Prefix merging folds the shared prefixes of a rule set — VASim's
+// standard optimization, the source of Table I's "Compressed States"
+// column.
+func ExamplePrefixMerge() {
+	b := automata.NewBuilder()
+	for i, pat := range []string{"handle", "handler", "handles"} {
+		parsed, err := regex.Parse(pat, 0)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := regex.CompileInto(b, parsed, int32(i)); err != nil {
+			panic(err)
+		}
+	}
+	a, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	merged, removed := transform.PrefixMerge(a)
+	fmt.Printf("%d states -> %d (removed %d)\n",
+		a.NumStates(), merged.NumStates(), removed)
+	// Output:
+	// 20 states -> 9 (removed 11)
+}

@@ -1,0 +1,207 @@
+// Package transform implements the automata transformations the suite's
+// methodology depends on:
+//
+//   - PrefixMerge: VASim's standard prefix-merging optimization, used to
+//     produce the "Compressed States" column of Table I;
+//   - Widen: the YARA "wide" transformation (16-bit symbols with zero high
+//     bytes) implemented as zero-matching pad states;
+//   - Trim: removal of states unreachable from any start state.
+//
+// All transformations return new frozen automata; inputs are never
+// modified.
+package transform
+
+import (
+	"fmt"
+	"sort"
+
+	"automatazoo/internal/automata"
+	"automatazoo/internal/charset"
+)
+
+// PrefixMerge repeatedly merges states that are indistinguishable from the
+// input's point of view: same character class, same start type, same
+// report disposition, and identical predecessor sets. Two such states are
+// enabled under exactly the same conditions and match exactly the same
+// symbols, so folding them (unioning their out-edges) preserves the
+// automaton's report behaviour while removing duplicated pattern prefixes —
+// VASim's standard optimization. Counter elements are never merged.
+//
+// Returns the compressed automaton and the number of states removed.
+func PrefixMerge(a *automata.Automaton) (*automata.Automaton, int) {
+	n := a.NumStates()
+	// rep[i] is the canonical representative of state i under merging.
+	rep := make([]automata.StateID, n)
+	for i := range rep {
+		rep[i] = automata.StateID(i)
+	}
+	find := func(x automata.StateID) automata.StateID {
+		for rep[x] != x {
+			rep[x] = rep[rep[x]] // path halving
+			x = rep[x]
+		}
+		return x
+	}
+
+	for pass := 0; ; pass++ {
+		// Signature: class handle, start, report flag+code, kind, and the
+		// canonicalized sorted predecessor multiset.
+		pred := make([][]automata.StateID, n)
+		for s := 0; s < n; s++ {
+			cs := find(automata.StateID(s))
+			for _, t := range a.Succ(automata.StateID(s)) {
+				ct := find(t)
+				pred[ct] = append(pred[ct], cs)
+			}
+		}
+		groups := map[string][]automata.StateID{}
+		for s := 0; s < n; s++ {
+			id := automata.StateID(s)
+			if find(id) != id || a.Kind(id) == automata.KindCounter {
+				continue
+			}
+			ps := pred[id]
+			sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+			// Deduplicate canonical predecessors.
+			uniq := ps[:0]
+			for i, p := range ps {
+				if i == 0 || p != ps[i-1] {
+					uniq = append(uniq, p)
+				}
+			}
+			key := signature(a, id, uniq)
+			groups[key] = append(groups[key], id)
+		}
+		merged := 0
+		for _, g := range groups {
+			for _, other := range g[1:] {
+				rep[other] = g[0]
+				merged++
+			}
+		}
+		if merged == 0 {
+			break
+		}
+	}
+
+	// Rebuild with representatives only.
+	b := automata.NewBuilder()
+	newID := make([]automata.StateID, n)
+	for i := range newID {
+		newID[i] = automata.NoState
+	}
+	removed := 0
+	for s := 0; s < n; s++ {
+		id := automata.StateID(s)
+		if find(id) != id {
+			removed++
+			continue
+		}
+		var nid automata.StateID
+		if a.Kind(id) == automata.KindCounter {
+			cfg, _ := a.CounterConfig(id)
+			nid = b.AddCounter(cfg.Target, cfg.Mode)
+		} else {
+			nid = b.AddSTE(a.Class(id), a.Start(id))
+		}
+		if a.IsReport(id) {
+			b.SetReport(nid, a.ReportCode(id))
+		}
+		newID[id] = nid
+	}
+	for s := 0; s < n; s++ {
+		id := automata.StateID(s)
+		from := newID[find(id)]
+		for _, t := range a.Succ(id) {
+			b.AddEdge(from, newID[find(t)])
+		}
+	}
+	return b.MustBuild(), removed
+}
+
+func signature(a *automata.Automaton, id automata.StateID, pred []automata.StateID) string {
+	buf := make([]byte, 0, 16+len(pred)*4)
+	h := a.ClassHandle(id)
+	buf = append(buf, byte(h), byte(h>>8), byte(h>>16), byte(h>>24))
+	buf = append(buf, byte(a.Start(id)))
+	if a.IsReport(id) {
+		c := a.ReportCode(id)
+		buf = append(buf, 1, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+	} else {
+		buf = append(buf, 0, 0, 0, 0, 0)
+	}
+	for _, p := range pred {
+		buf = append(buf, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
+	}
+	return string(buf)
+}
+
+// Widen converts a byte-pattern automaton into its "wide" (UTF-16LE-style)
+// form: every character is followed by a zero byte, implemented by routing
+// every original transition through a fresh pad state matching only 0x00.
+// Reports move onto the pad state that follows the original reporting
+// state, so a widened match spans the full widened pattern. The result has
+// exactly 2x the states. Counter automata are not supported.
+func Widen(a *automata.Automaton) (*automata.Automaton, error) {
+	if a.NumCounters() > 0 {
+		return nil, fmt.Errorf("transform: cannot widen automata with counters")
+	}
+	n := a.NumStates()
+	b := automata.NewBuilder()
+	orig := make([]automata.StateID, n)
+	pad := make([]automata.StateID, n)
+	zero := charset.Single(0)
+	for i := 0; i < n; i++ {
+		id := automata.StateID(i)
+		orig[i] = b.AddSTE(a.Class(id), a.Start(id))
+		pad[i] = b.AddSTE(zero, automata.StartNone)
+		b.AddEdge(orig[i], pad[i])
+		if a.IsReport(id) {
+			b.SetReport(pad[i], a.ReportCode(id))
+		}
+	}
+	for i := 0; i < n; i++ {
+		for _, t := range a.Succ(automata.StateID(i)) {
+			b.AddEdge(pad[i], orig[t])
+		}
+	}
+	return b.Build()
+}
+
+// Trim removes states unreachable from any start state, returning the
+// trimmed automaton and the number of removed states.
+func Trim(a *automata.Automaton) (*automata.Automaton, int) {
+	reach := a.ReachableFromStarts()
+	n := a.NumStates()
+	b := automata.NewBuilder()
+	newID := make([]automata.StateID, n)
+	removed := 0
+	for i := 0; i < n; i++ {
+		id := automata.StateID(i)
+		if !reach[i] {
+			newID[i] = automata.NoState
+			removed++
+			continue
+		}
+		if a.Kind(id) == automata.KindCounter {
+			cfg, _ := a.CounterConfig(id)
+			newID[i] = b.AddCounter(cfg.Target, cfg.Mode)
+		} else {
+			newID[i] = b.AddSTE(a.Class(id), a.Start(id))
+		}
+		if a.IsReport(id) {
+			b.SetReport(newID[i], a.ReportCode(id))
+		}
+	}
+	for i := 0; i < n; i++ {
+		if newID[i] == automata.NoState {
+			continue
+		}
+		for _, t := range a.Succ(automata.StateID(i)) {
+			if newID[t] != automata.NoState {
+				b.AddEdge(newID[i], newID[t])
+			}
+		}
+	}
+	return b.MustBuild(), removed
+}

@@ -1,0 +1,212 @@
+package transform
+
+import (
+	"math/rand"
+	"testing"
+
+	"automatazoo/internal/automata"
+	"automatazoo/internal/charset"
+	"automatazoo/internal/regex"
+	"automatazoo/internal/sim"
+)
+
+func compile(t *testing.T, patterns ...string) *automata.Automaton {
+	t.Helper()
+	b := automata.NewBuilder()
+	for i, p := range patterns {
+		parsed, err := regex.Parse(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := regex.CompileInto(b, parsed, int32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.MustBuild()
+}
+
+// reportsOf returns the multiset of (offset, code) reports of a on input.
+func reportsOf(a *automata.Automaton, input []byte) map[[2]int64]int {
+	e := sim.New(a)
+	out := map[[2]int64]int{}
+	e.OnReport = func(r sim.Report) { out[[2]int64{r.Offset, int64(r.Code)}]++ }
+	e.Run(input)
+	return out
+}
+
+func sameReports(a, b map[[2]int64]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPrefixMergeSharedPrefixes(t *testing.T) {
+	// "hello" and "help" share "hel": 3 states of the second are mergeable.
+	a := compile(t, "hello", "help")
+	if a.NumStates() != 9 {
+		t.Fatalf("states=%d", a.NumStates())
+	}
+	m, removed := PrefixMerge(a)
+	if removed != 3 {
+		t.Fatalf("removed=%d want 3", removed)
+	}
+	if m.NumStates() != 6 {
+		t.Fatalf("merged states=%d want 6", m.NumStates())
+	}
+	input := []byte("say hello and help me")
+	if !sameReports(reportsOf(a, input), reportsOf(m, input)) {
+		t.Fatal("merge changed report behaviour")
+	}
+}
+
+func TestPrefixMergeKeepsDistinctReports(t *testing.T) {
+	// Identical patterns with different codes must NOT merge their
+	// reporting tails.
+	a := compile(t, "abc", "abc")
+	m, _ := PrefixMerge(a)
+	input := []byte("xabc")
+	got := reportsOf(m, input)
+	if len(got) != 2 {
+		t.Fatalf("distinct-code reports lost: %v", got)
+	}
+	// But the non-reporting prefix (a, b) should merge: 6 → 4 states.
+	if m.NumStates() != 4 {
+		t.Fatalf("states=%d want 4", m.NumStates())
+	}
+}
+
+func TestPrefixMergeIdempotent(t *testing.T) {
+	a := compile(t, "cat", "car", "cart")
+	m1, _ := PrefixMerge(a)
+	m2, removed := PrefixMerge(m1)
+	if removed != 0 {
+		t.Fatalf("second merge removed %d", removed)
+	}
+	if m2.NumStates() != m1.NumStates() {
+		t.Fatal("not idempotent")
+	}
+}
+
+func TestPrefixMergePreservesCounters(t *testing.T) {
+	b := automata.NewBuilder()
+	s1 := b.AddSTE(charset.Single('x'), automata.StartAllInput)
+	s2 := b.AddSTE(charset.Single('x'), automata.StartAllInput)
+	c1 := b.AddCounter(2, automata.CountRollover)
+	c2 := b.AddCounter(2, automata.CountRollover)
+	b.AddEdge(s1, c1)
+	b.AddEdge(s2, c2)
+	b.SetReport(c1, 1)
+	b.SetReport(c2, 2)
+	a := b.MustBuild()
+	m, _ := PrefixMerge(a)
+	if m.NumCounters() != 2 {
+		t.Fatalf("counters=%d want 2 (never merged)", m.NumCounters())
+	}
+	got := reportsOf(m, []byte("xx"))
+	if len(got) != 2 {
+		t.Fatalf("counter reports=%v", got)
+	}
+}
+
+func TestPrefixMergeRandomizedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	words := []string{"cat", "car", "cart", "dog", "dig", "do", "a[bc]d", "ab+c"}
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(4)
+		var pats []string
+		for i := 0; i < n; i++ {
+			pats = append(pats, words[rng.Intn(len(words))])
+		}
+		a := compile(t, pats...)
+		m, _ := PrefixMerge(a)
+		in := make([]byte, 40)
+		alphabet := "abcdghiort "
+		for i := range in {
+			in[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		ra, rm := reportsOf(a, in), reportsOf(m, in)
+		if !sameReports(ra, rm) {
+			t.Fatalf("trial %d pats %v: reports differ\norig=%v\nmerged=%v", trial, pats, ra, rm)
+		}
+	}
+}
+
+func TestWiden(t *testing.T) {
+	a := compile(t, "ab")
+	w, err := Widen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumStates() != 2*a.NumStates() {
+		t.Fatalf("widened states=%d want %d", w.NumStates(), 2*a.NumStates())
+	}
+	// Widened pattern matches a\0b\0 but not ab.
+	got := reportsOf(w, []byte{'a', 0, 'b', 0})
+	if len(got) != 1 || got[[2]int64{3, 0}] != 1 {
+		t.Fatalf("widened reports=%v", got)
+	}
+	if n := len(reportsOf(w, []byte("ab"))); n != 0 {
+		t.Fatalf("narrow input matched widened automaton: %d", n)
+	}
+}
+
+func TestWidenClassPattern(t *testing.T) {
+	a := compile(t, "[0-9]z")
+	w, err := Widen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := reportsOf(w, []byte{'7', 0, 'z', 0})
+	if len(got) != 1 {
+		t.Fatalf("reports=%v", got)
+	}
+}
+
+func TestWidenRejectsCounters(t *testing.T) {
+	b := automata.NewBuilder()
+	s := b.AddSTE(charset.Single('x'), automata.StartAllInput)
+	c := b.AddCounter(2, automata.CountRollover)
+	b.AddEdge(s, c)
+	b.SetReport(c, 0)
+	a := b.MustBuild()
+	if _, err := Widen(a); err == nil {
+		t.Fatal("expected error widening counters")
+	}
+}
+
+func TestTrim(t *testing.T) {
+	b := automata.NewBuilder()
+	s := b.AddSTE(charset.Single('a'), automata.StartAllInput)
+	r := b.AddSTE(charset.Single('b'), automata.StartNone)
+	b.AddEdge(s, r)
+	b.SetReport(r, 0)
+	// Unreachable island.
+	d1 := b.AddSTE(charset.Single('x'), automata.StartNone)
+	d2 := b.AddSTE(charset.Single('y'), automata.StartNone)
+	b.AddEdge(d1, d2)
+	a := b.MustBuild()
+	tr, removed := Trim(a)
+	if removed != 2 {
+		t.Fatalf("removed=%d", removed)
+	}
+	if tr.NumStates() != 2 {
+		t.Fatalf("states=%d", tr.NumStates())
+	}
+	if !sameReports(reportsOf(a, []byte("ab")), reportsOf(tr, []byte("ab"))) {
+		t.Fatal("trim changed behaviour")
+	}
+}
+
+func TestTrimNoop(t *testing.T) {
+	a := compile(t, "abc")
+	tr, removed := Trim(a)
+	if removed != 0 || tr.NumStates() != a.NumStates() {
+		t.Fatalf("removed=%d states=%d", removed, tr.NumStates())
+	}
+}
