@@ -1,0 +1,37 @@
+# AutomataZoo build/verify targets. `make ci` is the full gate.
+
+GO ?= go
+
+.PHONY: ci build vet test race allocguard bench bench-engines clean
+
+ci: vet build test race allocguard
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector slows the experiment harnesses ~10x; the default
+# 10-minute per-package timeout is not enough on small machines.
+race:
+	$(GO) test -race -timeout 30m ./...
+
+# Guard the disabled-telemetry fast path: sim.Engine.Run must stay
+# allocation-free with no tracer/profile/registry attached.
+allocguard:
+	$(GO) test -run 'TestNilTelemetryZeroAllocs' -count=1 -v ./internal/sim/
+
+# Engine hot-loop microbenchmarks (the <2% telemetry-overhead budget is
+# judged against these).
+bench-engines:
+	$(GO) test -bench 'BenchmarkNFAEngineThroughput|BenchmarkDFAEngineThroughput|BenchmarkTable3' -benchmem -run '^$$' .
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+clean:
+	$(GO) clean ./...

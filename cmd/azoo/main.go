@@ -7,6 +7,7 @@
 //	azoo list
 //	azoo stats  -bench "Snort" [-scale 0.05] [-input 200000] [-compress]
 //	azoo run    -bench "ClamAV" [-scale 0.05] [-input 200000] [-engine nfa|dfa]
+//	azoo profile snort [-top 20] [-trace out.ndjson] [-metrics out.json]
 //	azoo table1 [-scale 0.05] [-input 200000] [-compress]
 //	azoo table2 [-samples 4000]
 //	azoo table3 [-filters 1719] [-itemsets 20000]
@@ -26,7 +27,6 @@ import (
 	"automatazoo/internal/mesh"
 	"automatazoo/internal/mnrl"
 	"automatazoo/internal/partition"
-	"automatazoo/internal/sim"
 	"automatazoo/internal/spatial"
 	"automatazoo/internal/stats"
 )
@@ -45,6 +45,8 @@ func main() {
 		err = cmdStats(args)
 	case "run":
 		err = cmdRun(args)
+	case "profile":
+		err = cmdProfile(args)
 	case "table1":
 		err = cmdTable1(args)
 	case "table2":
@@ -77,6 +79,7 @@ commands:
   list         list the suite's benchmarks
   stats        Table-I statistics for one benchmark
   run          run a benchmark's standard input through an engine
+  profile      per-state activation heatmap of a benchmark run
   table1       regenerate Table I (suite statistics)
   table2       regenerate Table II (Random Forest variants)
   table3       regenerate Table III (padding overhead)
@@ -135,8 +138,13 @@ func cmdRun(args []string) error {
 	scale, input, seed := suiteFlags(fs)
 	name := fs.String("bench", "", "benchmark name")
 	engine := fs.String("engine", "nfa", "engine: nfa (VASim-like) or dfa (Hyperscan-like)")
+	tf := telemetryFlags(fs)
 	fs.Parse(args)
-	b, err := core.ByName(*name)
+	b, err := resolveBenchmark(*name)
+	if err != nil {
+		return err
+	}
+	sess, err := tf.session()
 	if err != nil {
 		return err
 	}
@@ -147,24 +155,17 @@ func cmdRun(args []string) error {
 	}
 	switch *engine {
 	case "nfa":
-		e := sim.New(a)
-		var total sim.Stats
-		for _, seg := range segs {
-			e.Reset()
-			st := e.Run(seg)
-			total.Symbols += st.Symbols
-			total.Reports += st.Reports
-			total.Active += st.Active
-			total.Enabled += st.Enabled
-		}
+		dyn := stats.ObserveSegments(a, segs, sess.registry(), sess.ndjson())
 		fmt.Printf("%s: %d states, %d symbols, %d reports (%.6f/sym), active set %.2f\n",
-			b.Name, a.NumStates(), total.Symbols, total.Reports,
-			total.ReportRate(), total.ActiveAvg())
+			b.Name, a.NumStates(), dyn.Symbols, dyn.Reports,
+			dyn.ReportRate, dyn.ActiveSet)
 	case "dfa":
 		e, err := dfa.New(a)
 		if err != nil {
 			return err
 		}
+		e.SetRegistry(sess.registry())
+		e.SetTracer(sess.ndjson())
 		var symbols, reports int64
 		for _, seg := range segs {
 			e.Reset()
@@ -175,19 +176,26 @@ func cmdRun(args []string) error {
 		st := e.Stats()
 		fmt.Printf("%s: %d states, %d symbols, %d reports, %d DFA states, %d fallbacks\n",
 			b.Name, a.NumStates(), symbols, reports, st.DFAStates, st.Fallbacks)
+		fmt.Printf("transition cache: %.2f%% hit rate, %.4f evictions/lookup\n",
+			st.HitRate()*100, st.EvictionRate())
 	default:
 		return fmt.Errorf("unknown engine %q", *engine)
 	}
-	return nil
+	return sess.Close()
 }
 
 func cmdTable1(args []string) error {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
 	scale, input, seed := suiteFlags(fs)
 	compress := fs.Bool("compress", false, "also run prefix-merge compression (slow at large scales)")
+	tf := telemetryFlags(fs)
 	fs.Parse(args)
+	sess, err := tf.session()
+	if err != nil {
+		return err
+	}
 	cfg := core.Config{Scale: *scale, InputBytes: *input, Seed: *seed}
-	rows, err := experiments.TableI(cfg, *compress)
+	rows, err := experiments.TableIObserved(cfg, *compress, sess.observer())
 	if err != nil {
 		return err
 	}
@@ -196,18 +204,24 @@ func cmdTable1(args []string) error {
 	for _, r := range rows {
 		fmt.Println(r.Format())
 	}
-	return nil
+	return sess.Close()
 }
 
 func cmdTable2(args []string) error {
 	fs := flag.NewFlagSet("table2", flag.ExitOnError)
 	samples := fs.Int("samples", 4000, "dataset size")
 	seed := fs.Uint64("seed", 7, "seed")
+	tf := telemetryFlags(fs)
 	fs.Parse(args)
-	rows, err := experiments.TableII(*samples, *seed)
+	sess, err := tf.session()
 	if err != nil {
 		return err
 	}
+	rows, err := experiments.TableIIObserved(*samples, *seed, sess.observer())
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
 	fmt.Println("Table II: Random Forest benchmark variant trade-offs")
 	fmt.Printf("%-8s %9s %11s %9s %9s %8s\n",
 		"Variant", "Features", "Max Leaves", "States", "Accuracy", "Runtime")
@@ -223,35 +237,56 @@ func cmdTable3(args []string) error {
 	filters := fs.Int("filters", 1719, "sequence-matching filters")
 	itemsets := fs.Int("itemsets", 20_000, "input itemsets")
 	seed := fs.Uint64("seed", 3, "seed")
+	tf := telemetryFlags(fs)
 	fs.Parse(args)
-	rows, err := experiments.TableIII(*filters, *itemsets, *seed)
+	sess, err := tf.session()
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.TableIIIObserved(*filters, *itemsets, *seed, sess.observer())
 	if err != nil {
 		return err
 	}
 	fmt.Println("Table III: impact of AP-specific padding on CPU engines")
-	fmt.Printf("%-28s %10s %12s %10s\n", "CPU Engine", "6 Wide", "6 Wide Pad", "Overhead")
+	fmt.Printf("%-28s %10s %12s %10s %9s %9s\n",
+		"CPU Engine", "6 Wide", "6 Wide Pad", "Overhead", "CacheHit", "Evict/Lk")
 	for _, r := range rows {
-		fmt.Printf("%-28s %9.3fs %11.3fs %9.1f%%\n",
-			r.Engine, r.PlainSec, r.PaddedSec, r.OverheadPct)
+		hit, evict := "-", "-"
+		if r.HasCache {
+			hit = fmt.Sprintf("%.2f%%", r.CacheHitRate*100)
+			evict = fmt.Sprintf("%.4f", r.CacheEvictRate)
+		}
+		fmt.Printf("%-28s %9.3fs %11.3fs %9.1f%% %9s %9s\n",
+			r.Engine, r.PlainSec, r.PaddedSec, r.OverheadPct, hit, evict)
 	}
-	return nil
+	return sess.Close()
 }
 
 func cmdTable4(args []string) error {
 	fs := flag.NewFlagSet("table4", flag.ExitOnError)
 	samples := fs.Int("samples", 4000, "dataset size")
 	seed := fs.Uint64("seed", 5, "seed")
+	tf := telemetryFlags(fs)
 	fs.Parse(args)
-	rows, err := experiments.TableIV(*samples, *seed)
+	sess, err := tf.session()
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.TableIVObserved(*samples, *seed, sess.observer())
 	if err != nil {
 		return err
 	}
 	fmt.Println("Table IV: Random Forest classification throughput")
-	fmt.Printf("%-34s %16s %10s\n", "Engine", "kClass/sec", "Relative")
+	fmt.Printf("%-34s %16s %10s %9s %9s\n", "Engine", "kClass/sec", "Relative", "CacheHit", "Evict/Lk")
 	for _, r := range rows {
-		fmt.Printf("%-34s %16.1f %9.1fx\n", r.Engine, r.KClassPerSec, r.Relative)
+		hit, evict := "-", "-"
+		if r.HasCache {
+			hit = fmt.Sprintf("%.2f%%", r.CacheHitRate*100)
+			evict = fmt.Sprintf("%.4f", r.CacheEvictRate)
+		}
+		fmt.Printf("%-34s %16.1f %9.1fx %9s %9s\n", r.Engine, r.KClassPerSec, r.Relative, hit, evict)
 	}
-	return nil
+	return sess.Close()
 }
 
 func cmdFig1(args []string) error {

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"automatazoo/internal/core"
+	"automatazoo/internal/sim"
+	"automatazoo/internal/stats"
+	"automatazoo/internal/telemetry"
+)
+
+// resolveBenchmark finds a benchmark by exact name, case-insensitive
+// name, or unique case-insensitive substring — so `azoo profile snort`
+// works without quoting the registry's exact "Snort".
+func resolveBenchmark(name string) (core.Benchmark, error) {
+	if b, err := core.ByName(name); err == nil {
+		return b, nil
+	}
+	lower := strings.ToLower(name)
+	var matches []core.Benchmark
+	for _, b := range core.All() {
+		ln := strings.ToLower(b.Name)
+		if ln == lower {
+			return b, nil
+		}
+		if strings.Contains(ln, lower) {
+			matches = append(matches, b)
+		}
+	}
+	switch len(matches) {
+	case 1:
+		return matches[0], nil
+	case 0:
+		return core.Benchmark{}, fmt.Errorf("unknown benchmark %q (see `azoo list`)", name)
+	default:
+		names := make([]string, len(matches))
+		for i, b := range matches {
+			names[i] = b.Name
+		}
+		return core.Benchmark{}, fmt.Errorf("benchmark %q is ambiguous: %s", name, strings.Join(names, ", "))
+	}
+}
+
+// cmdProfile runs one benchmark under full instrumentation and prints a
+// per-state activation heatmap with subgraph attribution — the suite's
+// analogue of VASim's --profile mode.
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	scale, input, seed := suiteFlags(fs)
+	name := fs.String("bench", "", "benchmark name (or pass it as the first argument)")
+	topK := fs.Int("top", 20, "hottest states to print")
+	topSub := fs.Int("subgraphs", 10, "hottest subgraphs to print (0 disables)")
+	tf := telemetryFlags(fs)
+	// Accept `azoo profile <benchmark>` with the name before the flags.
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		*name = args[0]
+		args = args[1:]
+	}
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("profile: benchmark name required (azoo profile <benchmark>)")
+	}
+	b, err := resolveBenchmark(*name)
+	if err != nil {
+		return err
+	}
+	sess, err := tf.session()
+	if err != nil {
+		return err
+	}
+	// The profile command always keeps a registry: the frontier histogram
+	// and run counters are part of its report even without -metrics.
+	if sess.reg == nil {
+		sess.reg = telemetry.NewRegistry()
+	}
+
+	cfg := core.Config{Scale: *scale, InputBytes: *input, Seed: *seed}
+	a, segs, err := b.Build(cfg)
+	if err != nil {
+		return err
+	}
+	e := sim.New(a)
+	prof := e.EnableProfile()
+	e.SetRegistry(sess.reg)
+	e.SetTracer(sess.ndjson())
+	for _, seg := range segs {
+		e.Reset()
+		e.Run(seg)
+	}
+	dyn := stats.DynamicFromRegistry(sess.reg)
+	_, comp := a.Components()
+
+	fmt.Printf("%s (%s): %d states, %d subgraphs\n", b.Name, b.Domain, a.NumStates(), countSubgraphs(comp))
+	fmt.Printf("symbols %d, reports %d (%.6f/sym), active set %.2f, enabled set %.2f\n",
+		dyn.Symbols, dyn.Reports, dyn.ReportRate, dyn.ActiveSet, dyn.EnabledSet)
+	h := sess.reg.Histogram("sim.frontier", nil)
+	fmt.Printf("enabled frontier: mean %.2f, max %d\n\n", h.Mean(), h.Max())
+
+	fmt.Printf("Top %d states by activations:\n", *topK)
+	if err := telemetry.WriteHeatmap(os.Stdout, prof.TopK(*topK, comp), dyn.Symbols); err != nil {
+		return err
+	}
+	if *topSub > 0 {
+		fmt.Printf("\nTop %d subgraphs by activations:\n", *topSub)
+		if err := telemetry.WriteSubgraphHeatmap(os.Stdout, prof.TopSubgraphs(*topSub, comp)); err != nil {
+			return err
+		}
+	}
+	return sess.Close()
+}
+
+func countSubgraphs(comp []int32) int {
+	max := int32(-1)
+	for _, c := range comp {
+		if c > max {
+			max = c
+		}
+	}
+	return int(max + 1)
+}

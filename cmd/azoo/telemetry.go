@@ -1,0 +1,149 @@
+package main
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+
+	"automatazoo/internal/experiments"
+	"automatazoo/internal/telemetry"
+)
+
+// telFlags is the observability flag set shared by run, profile, and the
+// table commands: -trace, -trace-sample, -metrics, -debug-addr.
+type telFlags struct {
+	trace   *string
+	sample  *int64
+	metrics *string
+	debug   *string
+}
+
+func telemetryFlags(fs *flag.FlagSet) *telFlags {
+	return &telFlags{
+		trace:   fs.String("trace", "", "write an NDJSON event trace to this file (see internal/telemetry doc.go for the schema)"),
+		sample:  fs.Int64("trace-sample", 1, "record symbol/activate trace events only for offsets divisible by N (reports and cache events are always recorded)"),
+		metrics: fs.String("metrics", "", "write a metrics-registry JSON snapshot to this file on completion"),
+		debug:   fs.String("debug-addr", "", "serve net/http/pprof and expvar (live metrics at /debug/vars) on this address, e.g. localhost:6060"),
+	}
+}
+
+// obsSession is one command's activated telemetry: the registry and trace
+// sink built from the flags. Close writes the metrics snapshot and
+// flushes the trace.
+type obsSession struct {
+	reg         *telemetry.Registry
+	tracer      *telemetry.NDJSON
+	metricsPath string
+}
+
+// session materializes the flags. The registry exists whenever any
+// telemetry output is requested (the trace alone still benefits from
+// counters at /debug/vars); everything nil means fully disabled.
+func (tf *telFlags) session() (*obsSession, error) {
+	s := &obsSession{metricsPath: *tf.metrics}
+	if *tf.metrics != "" || *tf.debug != "" || *tf.trace != "" {
+		s.reg = telemetry.NewRegistry()
+	}
+	if *tf.trace != "" {
+		f, err := os.Create(*tf.trace)
+		if err != nil {
+			return nil, err
+		}
+		s.tracer = telemetry.NewNDJSON(f)
+		s.tracer.SampleEvery = *tf.sample
+	}
+	if *tf.debug != "" {
+		if err := startDebugServer(*tf.debug, s.reg); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// observer adapts the session for the experiments package.
+func (s *obsSession) observer() *experiments.Observer {
+	if s == nil || (s.reg == nil && s.tracer == nil) {
+		return nil
+	}
+	o := &experiments.Observer{Registry: s.reg}
+	if s.tracer != nil {
+		o.Tracer = s.tracer
+	}
+	return o
+}
+
+// registry returns the session registry (nil when telemetry is off).
+func (s *obsSession) registry() *telemetry.Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// ndjson returns the NDJSON tracer as a telemetry.Tracer, avoiding the
+// typed-nil-in-interface trap when tracing is off.
+func (s *obsSession) ndjson() telemetry.Tracer {
+	if s == nil || s.tracer == nil {
+		return nil
+	}
+	return s.tracer
+}
+
+// Close flushes the trace and writes the metrics snapshot.
+func (s *obsSession) Close() error {
+	if s == nil {
+		return nil
+	}
+	var first error
+	if s.tracer != nil {
+		if err := s.tracer.Close(); err != nil {
+			first = err
+		} else {
+			fmt.Fprintf(os.Stderr, "azoo: wrote %d trace events\n", s.tracer.Events())
+		}
+	}
+	if s.metricsPath != "" && s.reg != nil {
+		f, err := os.Create(s.metricsPath)
+		if err == nil {
+			err = s.reg.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// startDebugServer serves pprof and expvar on addr for the lifetime of
+// the process — profiling support for long suite runs. The registry's
+// live snapshot appears under "azoo" at /debug/vars.
+func startDebugServer(addr string, reg *telemetry.Registry) error {
+	if reg != nil {
+		reg.PublishExpvar("azoo")
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("debug server: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "azoo: debug server at http://%s/debug/pprof/ and /debug/vars\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "azoo: debug server:", err)
+		}
+	}()
+	return nil
+}

@@ -18,20 +18,37 @@ package dfa
 import (
 	"errors"
 	"sort"
+	"time"
 
 	"automatazoo/internal/automata"
 	"automatazoo/internal/charset"
+	"automatazoo/internal/telemetry"
 )
 
 // ErrCounters is returned for automata with counter elements.
 var ErrCounters = errors.New("dfa: automaton contains counter elements")
 
-// Stats aggregates a run's dynamic profile.
+// Stats aggregates a run's dynamic profile. Symbols and Reports reset with
+// the stream (Reset); the cache counters describe the engine's long-lived
+// transition cache and accumulate across Resets, like DFAStates.
 type Stats struct {
 	Symbols   int64
 	Reports   int64
 	DFAStates int // total interned DFA states across components
 	Fallbacks int // components that overflowed their DFA budget
+
+	// CacheHits counts transitions found already interned; CacheMisses
+	// counts transitions that had to be subset-constructed. Their ratio is
+	// the Hyperscan-proxy's cache behaviour: a warm engine scanning stable
+	// traffic approaches a 100% hit rate.
+	CacheHits   int64
+	CacheMisses int64
+	// CacheEvictions counts interned DFA states abandoned when a component
+	// overflowed its state budget and fell back to NFA stepping.
+	CacheEvictions int64
+	// ConstructNanos is cumulative wall time spent in subset construction
+	// (the cache-miss path).
+	ConstructNanos int64
 }
 
 // ReportRate returns reports per symbol.
@@ -40,6 +57,26 @@ func (s Stats) ReportRate() float64 {
 		return 0
 	}
 	return float64(s.Reports) / float64(s.Symbols)
+}
+
+// HitRate returns the transition-cache hit fraction in [0,1], 0 when no
+// transitions were taken.
+func (s Stats) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// EvictionRate returns evicted DFA states per cache lookup, 0 when no
+// transitions were taken.
+func (s Stats) EvictionRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheEvictions) / float64(total)
 }
 
 // Report mirrors sim.Report: a match at an input offset.
@@ -104,6 +141,11 @@ type Engine struct {
 	CollectReports bool
 	OnReport       func(Report)
 	reports        []Report
+
+	// Telemetry hooks, nil by default and nil-guarded everywhere.
+	tracer    telemetry.Tracer
+	reg       *telemetry.Registry
+	published Stats // portion of stats already flushed to reg
 }
 
 // Options tune the engine's internal strategies; the zero value is the
@@ -275,8 +317,11 @@ func (e *Engine) computeTransition(c *component, di uint32, cls uint16) {
 	if !ok {
 		if len(c.dstates) >= c.budget {
 			// Budget exceeded: switch the whole component to NFA fallback.
+			// The component's interned dstates are abandoned (evicted from
+			// active use); the NFA path steps the frontier directly.
 			c.overflow = true
 			e.stats.Fallbacks++
+			e.stats.CacheEvictions += int64(len(c.dstates))
 			return
 		}
 		ni = uint32(len(c.dstates))
@@ -295,9 +340,45 @@ func containsSorted(xs []automata.StateID, v automata.StateID) bool {
 	return i < len(xs) && xs[i] == v
 }
 
+// SetTracer attaches an event tracer (nil detaches). The tracer receives
+// OnReport plus OnCacheEvent for misses and evictions; hits are counted in
+// Stats but not traced (one per live component per byte).
+func (e *Engine) SetTracer(t telemetry.Tracer) { e.tracer = t }
+
+// SetRegistry attaches a metrics registry (nil detaches). Aggregate run
+// statistics flush to the dfa.* counters and gauges at the end of every
+// Run and on Reset.
+func (e *Engine) SetRegistry(r *telemetry.Registry) {
+	e.reg = r
+	if r != nil {
+		e.published = e.stats
+	}
+}
+
+// flushStats publishes stats accumulated since the last flush.
+func (e *Engine) flushStats() {
+	r := e.reg
+	if r == nil {
+		return
+	}
+	s := e.Stats() // includes live DFAStates
+	r.Counter("dfa.symbols").Add(s.Symbols - e.published.Symbols)
+	r.Counter("dfa.reports").Add(s.Reports - e.published.Reports)
+	r.Counter("dfa.cache_hits").Add(s.CacheHits - e.published.CacheHits)
+	r.Counter("dfa.cache_misses").Add(s.CacheMisses - e.published.CacheMisses)
+	r.Counter("dfa.cache_evictions").Add(s.CacheEvictions - e.published.CacheEvictions)
+	r.Counter("dfa.construct_nanos").Add(s.ConstructNanos - e.published.ConstructNanos)
+	r.Gauge("dfa.states").Set(int64(s.DFAStates))
+	r.Gauge("dfa.fallbacks").Set(int64(s.Fallbacks))
+	e.published = s
+}
+
 // Reset restarts all component DFAs at their initial state and clears
 // statistics and collected reports. Interned DFA states are retained.
 func (e *Engine) Reset() {
+	if e.reg != nil {
+		e.flushStats()
+	}
 	e.live = e.live[:0]
 	for i, c := range e.comps {
 		e.cur[i] = 1
@@ -310,6 +391,8 @@ func (e *Engine) Reset() {
 	e.offset = 0
 	e.stats.Reports = 0
 	e.stats.Symbols = 0
+	e.published.Reports = 0
+	e.published.Symbols = 0
 	e.reports = e.reports[:0]
 }
 
@@ -330,6 +413,11 @@ func (e *Engine) Reports() []Report { return e.reports }
 func (e *Engine) emit(code int32) {
 	e.stats.Reports++
 	r := Report{Offset: e.offset, Code: code}
+	if e.tracer != nil {
+		// DFA reports carry no NFA state ID (the report state was folded
+		// into the dstate); the schema uses state 0 for them.
+		e.tracer.OnReport(e.offset, 0, code)
+	}
 	if e.OnReport != nil {
 		e.OnReport(r)
 	}
@@ -343,6 +431,9 @@ func (e *Engine) emit(code int32) {
 func (e *Engine) Run(input []byte) Stats {
 	for _, b := range input {
 		e.stepByte(b)
+	}
+	if e.reg != nil {
+		e.flushStats()
 	}
 	return e.Stats()
 }
@@ -360,8 +451,17 @@ func (e *Engine) stepByte(b byte) {
 		di := e.cur[ci]
 		cls := c.byteClass[b]
 		if c.dstates[di].trans[cls] == transUnset {
+			e.stats.CacheMisses++
+			start := time.Now()
 			e.computeTransition(c, di, cls)
+			e.stats.ConstructNanos += time.Since(start).Nanoseconds()
+			if e.tracer != nil {
+				e.tracer.OnCacheEvent(e.offset, int(ci), telemetry.CacheMiss)
+			}
 			if c.overflow {
+				if e.tracer != nil {
+					e.tracer.OnCacheEvent(e.offset, int(ci), telemetry.CacheEviction)
+				}
 				// Seed the fallback frontier from the current dstate and
 				// process this byte via the NFA path.
 				c.frontier = append(c.frontier[:0], c.dstates[di].frontier...)
@@ -372,6 +472,8 @@ func (e *Engine) stepByte(b byte) {
 				i++
 				continue
 			}
+		} else {
+			e.stats.CacheHits++
 		}
 		d := &c.dstates[di]
 		for _, code := range d.reports[cls] {

@@ -23,12 +23,41 @@ import (
 	"automatazoo/internal/spatial"
 	"automatazoo/internal/spm"
 	"automatazoo/internal/stats"
+	"automatazoo/internal/telemetry"
 )
+
+// Observer carries optional telemetry sinks through an experiment: a
+// metrics registry the engines publish into and a tracer receiving
+// execution events. The zero value (and a nil *Observer) disables both.
+type Observer struct {
+	Registry *telemetry.Registry
+	Tracer   telemetry.Tracer
+}
+
+func (o *Observer) registry() *telemetry.Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Registry
+}
+
+func (o *Observer) tracer() telemetry.Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}
 
 // TableI generates every suite benchmark at cfg's scale, computes its
 // static statistics, prefix-merge compression, and simulated active set,
 // and returns the rows in Table I order.
 func TableI(cfg core.Config, compress bool) ([]stats.Row, error) {
+	return TableIObserved(cfg, compress, nil)
+}
+
+// TableIObserved is TableI with telemetry: every benchmark's simulation
+// publishes into obs.Registry and traces to obs.Tracer.
+func TableIObserved(cfg core.Config, compress bool, obs *Observer) ([]stats.Row, error) {
 	var rows []stats.Row
 	for _, b := range core.All() {
 		a, segs, err := b.Build(cfg)
@@ -40,7 +69,7 @@ func TableI(cfg core.Config, compress bool) ([]stats.Row, error) {
 			Domain:  b.Domain,
 			Input:   b.Input,
 			Static:  stats.Compute(a),
-			Dynamic: stats.SimulateSegments(a, segs),
+			Dynamic: stats.ObserveSegments(a, segs, obs.registry(), obs.tracer()),
 		}
 		if compress {
 			row.Compression = stats.Compress(a)
@@ -67,6 +96,13 @@ type TableIIRow struct {
 // per classification, which is how the paper's 1.35x arises (270/200
 // features).
 func TableII(samples int, seed uint64) ([]TableIIRow, error) {
+	return TableIIObserved(samples, seed, nil)
+}
+
+// TableIIObserved is TableII with telemetry: per-variant state and
+// symbol-cost gauges are recorded into obs.Registry (there is no engine
+// run to trace — the table compares trained models, not scans).
+func TableIIObserved(samples int, seed uint64, obs *Observer) ([]TableIIRow, error) {
 	ds := rf.GenerateDataset(samples, seed)
 	train, test := ds.Split(0.8)
 	var rows []TableIIRow
@@ -91,6 +127,10 @@ func TableII(samples int, seed uint64) ([]TableIIRow, error) {
 		if v.Name == "B" {
 			baseSymbols = enc.SymbolsPerSample
 		}
+		if r := obs.registry(); r != nil {
+			r.Gauge("table2.states." + v.Name).Set(int64(a.NumStates()))
+			r.Gauge("table2.symbols_per_sample." + v.Name).Set(int64(enc.SymbolsPerSample))
+		}
 		rows = append(rows, row)
 	}
 	for i := range rows {
@@ -99,12 +139,17 @@ func TableII(samples int, seed uint64) ([]TableIIRow, error) {
 	return rows, nil
 }
 
-// TableIIIRow is one engine's padding-overhead measurement.
+// TableIIIRow is one engine's padding-overhead measurement. For the DFA
+// engine, HasCache is set and the cache columns describe its transition
+// cache across both measured runs (plain + padded).
 type TableIIIRow struct {
-	Engine      string
-	PlainSec    float64
-	PaddedSec   float64
-	OverheadPct float64
+	Engine         string
+	PlainSec       float64
+	PaddedSec      float64
+	OverheadPct    float64
+	HasCache       bool
+	CacheHitRate   float64 // fraction of transitions found interned
+	CacheEvictRate float64 // evicted DFA states per transition lookup
 }
 
 // TableIII measures the Section-VII experiment: the same Sequence Matching
@@ -113,6 +158,14 @@ type TableIIIRow struct {
 // proxy). The NFA engine pays for every enabled pad state; the DFA engine
 // mostly absorbs them into precomputed transitions.
 func TableIII(filters, inputItemsets int, seed uint64) ([]TableIIIRow, error) {
+	return TableIIIObserved(filters, inputItemsets, seed, nil)
+}
+
+// TableIIIObserved is TableIII with telemetry: both engines publish into
+// obs.Registry, and the DFA engine traces cache events to obs.Tracer.
+// (Symbol-level tracing is not attached inside the timed loops — it would
+// measure the tracer, not the engine.)
+func TableIIIObserved(filters, inputItemsets int, seed uint64, obs *Observer) ([]TableIIIRow, error) {
 	rng := randx.New(seed)
 	pats := make([]spm.Pattern, filters)
 	for i := range pats {
@@ -141,6 +194,7 @@ func TableIII(filters, inputItemsets int, seed uint64) ([]TableIIIRow, error) {
 	}
 	timeNFA := func(a *automata.Automaton) float64 {
 		e := sim.New(a)
+		e.SetRegistry(obs.registry())
 		return bestOf(3, func() float64 {
 			e.Reset()
 			start := time.Now()
@@ -148,21 +202,29 @@ func TableIII(filters, inputItemsets int, seed uint64) ([]TableIIIRow, error) {
 			return time.Since(start).Seconds()
 		})
 	}
+	var cacheTotal dfa.Stats
 	timeDFA := func(a *automata.Automaton) (float64, error) {
 		e, err := dfa.New(a)
 		if err != nil {
 			return 0, err
 		}
+		e.SetRegistry(obs.registry())
+		e.SetTracer(obs.tracer())
 		e.Run(input) // warm the transition cache fully
 		const loops = 12
-		return bestOf(3, func() float64 {
+		sec := bestOf(3, func() float64 {
 			start := time.Now()
 			for l := 0; l < loops; l++ {
 				e.Reset()
 				e.Run(input)
 			}
 			return time.Since(start).Seconds() / loops
-		}), nil
+		})
+		st := e.Stats()
+		cacheTotal.CacheHits += st.CacheHits
+		cacheTotal.CacheMisses += st.CacheMisses
+		cacheTotal.CacheEvictions += st.CacheEvictions
+		return sec, nil
 	}
 	nfaPlain := timeNFA(plain)
 	nfaPadded := timeNFA(padded)
@@ -177,7 +239,8 @@ func TableIII(filters, inputItemsets int, seed uint64) ([]TableIIIRow, error) {
 	pct := func(plain, padded float64) float64 { return (padded - plain) / plain * 100 }
 	return []TableIIIRow{
 		{Engine: "VASim (NFA interpreter)", PlainSec: nfaPlain, PaddedSec: nfaPadded, OverheadPct: pct(nfaPlain, nfaPadded)},
-		{Engine: "Hyperscan (lazy DFA)", PlainSec: dfaPlain, PaddedSec: dfaPadded, OverheadPct: pct(dfaPlain, dfaPadded)},
+		{Engine: "Hyperscan (lazy DFA)", PlainSec: dfaPlain, PaddedSec: dfaPadded, OverheadPct: pct(dfaPlain, dfaPadded),
+			HasCache: true, CacheHitRate: cacheTotal.HitRate(), CacheEvictRate: cacheTotal.EvictionRate()},
 	}, nil
 }
 
@@ -194,6 +257,10 @@ type TableIVRow struct {
 	Engine       string
 	KClassPerSec float64
 	Relative     float64 // normalized to the Hyperscan row
+	// Cache columns, set on the Hyperscan (lazy DFA) row only.
+	HasCache       bool
+	CacheHitRate   float64
+	CacheEvictRate float64
 }
 
 // TableIV measures Random Forest classification throughput: automata
@@ -202,6 +269,12 @@ type TableIVRow struct {
 // analytical REAPR FPGA model — the paper's full-kernel cross-algorithm
 // comparison, possible only because the benchmark is a complete model.
 func TableIV(samples int, seed uint64) ([]TableIVRow, error) {
+	return TableIVObserved(samples, seed, nil)
+}
+
+// TableIVObserved is TableIV with telemetry: the DFA engine publishes into
+// obs.Registry and traces cache events to obs.Tracer.
+func TableIVObserved(samples int, seed uint64, obs *Observer) ([]TableIVRow, error) {
 	ds := rf.GenerateDataset(samples, seed)
 	train, test := ds.Split(0.8)
 	m, err := rf.Train(train, rf.VariantB, seed)
@@ -235,6 +308,8 @@ func TableIV(samples int, seed uint64) ([]TableIVRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	de.SetRegistry(obs.registry())
+	de.SetTracer(obs.tracer())
 	// Warm the transition caches once.
 	for _, s := range encoded[:min(64, len(encoded))] {
 		de.Reset()
@@ -264,8 +339,10 @@ func TableIV(samples int, seed uint64) ([]TableIVRow, error) {
 	reapr := spatial.REAPR()
 	fpgaRate := reapr.ClassificationsPerSec(enc.SymbolsPerSample)
 
+	dfaStats := de.Stats()
 	rows := []TableIVRow{
-		{Engine: "Hyperscan (automata, CPU)", KClassPerSec: hsRate / 1e3},
+		{Engine: "Hyperscan (automata, CPU)", KClassPerSec: hsRate / 1e3,
+			HasCache: true, CacheHitRate: dfaStats.HitRate(), CacheEvictRate: dfaStats.EvictionRate()},
 		{Engine: "Scikit-Learn (native, 1 thread)", KClassPerSec: nativeRate / 1e3},
 		{Engine: "Scikit-Learn MT (native)", KClassPerSec: mtRate / 1e3},
 		{Engine: "REAPR FPGA (automata, model)", KClassPerSec: fpgaRate / 1e3},

@@ -25,6 +25,7 @@ package sim
 import (
 	"automatazoo/internal/automata"
 	"automatazoo/internal/charset"
+	"automatazoo/internal/telemetry"
 )
 
 // Report records one match: the automaton entered a reporting state (or a
@@ -126,6 +127,18 @@ type Engine struct {
 
 	reports []Report
 	stats   Stats
+
+	// Telemetry hooks. All are nil by default. The hot loop tests only the
+	// single telemetryOn flag, so the disabled path costs one predictable
+	// branch per symbol and per activation and zero allocations (asserted
+	// by TestNilTelemetryZeroAllocs); the individual nil guards run only
+	// once some hook is attached.
+	telemetryOn  bool // any of prof/tracer/frontierHist attached
+	prof         *telemetry.StateProfile
+	tracer       telemetry.Tracer
+	reg          *telemetry.Registry
+	frontierHist *telemetry.Histogram
+	published    Stats // portion of stats already flushed to reg
 }
 
 // Options tune the engine's internal strategies; the zero value is the
@@ -198,10 +211,76 @@ func NewWithOptions(a *automata.Automaton, opts Options) *Engine {
 // Automaton returns the automaton the engine executes.
 func (e *Engine) Automaton() *automata.Automaton { return e.a }
 
+// EnableProfile attaches (creating on first call) a per-state activity
+// profile and returns it. The profile accumulates across Resets; call its
+// Reset to zero it.
+func (e *Engine) EnableProfile() *telemetry.StateProfile {
+	if e.prof == nil {
+		e.prof = telemetry.NewStateProfile(e.a.NumStates())
+	}
+	e.syncTelemetryOn()
+	return e.prof
+}
+
+// Profile returns the attached per-state profile, or nil.
+func (e *Engine) Profile() *telemetry.StateProfile { return e.prof }
+
+// SetTracer attaches an event tracer (nil detaches). The tracer receives
+// OnSymbol/OnActivate/OnReport callbacks from inside the scan loop.
+func (e *Engine) SetTracer(t telemetry.Tracer) {
+	e.tracer = t
+	e.syncTelemetryOn()
+}
+
+func (e *Engine) syncTelemetryOn() {
+	e.telemetryOn = e.prof != nil || e.tracer != nil || e.frontierHist != nil
+}
+
+// SetRegistry attaches a metrics registry (nil detaches). Aggregate run
+// statistics are flushed to the sim.* counters at the end of every Run
+// (and on Reset), and the per-symbol enabled-frontier size is observed
+// into the sim.frontier histogram.
+func (e *Engine) SetRegistry(r *telemetry.Registry) {
+	e.reg = r
+	if r == nil {
+		e.frontierHist = nil
+		e.syncTelemetryOn()
+		return
+	}
+	e.frontierHist = r.Histogram("sim.frontier", telemetry.ExpBuckets(1, 16))
+	e.published = e.stats
+	e.syncTelemetryOn()
+}
+
+// flushStats publishes stats accumulated since the last flush to the
+// attached registry.
+func (e *Engine) flushStats() {
+	d := e.reg
+	if d == nil {
+		return
+	}
+	delta := Stats{
+		Symbols:       e.stats.Symbols - e.published.Symbols,
+		Enabled:       e.stats.Enabled - e.published.Enabled,
+		Active:        e.stats.Active - e.published.Active,
+		CounterPulses: e.stats.CounterPulses - e.published.CounterPulses,
+		Reports:       e.stats.Reports - e.published.Reports,
+	}
+	d.Counter("sim.symbols").Add(delta.Symbols)
+	d.Counter("sim.enabled").Add(delta.Enabled)
+	d.Counter("sim.active").Add(delta.Active)
+	d.Counter("sim.counter_pulses").Add(delta.CounterPulses)
+	d.Counter("sim.reports").Add(delta.Reports)
+	e.published = e.stats
+}
+
 // Reset clears all runtime state: the frontier, counters, latches, offset,
 // statistics, and any collected reports. The next symbol consumed is
 // treated as the start of data.
 func (e *Engine) Reset() {
+	if e.reg != nil {
+		e.flushStats() // don't lose stats accumulated via bare Step calls
+	}
 	e.frontier = e.frontier[:0]
 	e.next = e.next[:0]
 	e.gen++
@@ -217,6 +296,7 @@ func (e *Engine) Reset() {
 	clear(e.latched)
 	e.offset = 0
 	e.stats = Stats{}
+	e.published = Stats{}
 	e.reports = e.reports[:0]
 }
 
@@ -233,6 +313,9 @@ func (e *Engine) Run(input []byte) Stats {
 	for _, b := range input {
 		e.Step(b)
 	}
+	if e.reg != nil {
+		e.flushStats()
+	}
 	return e.stats
 }
 
@@ -242,6 +325,9 @@ func (e *Engine) emit(id automata.StateID) {
 		e.CodeCounts[e.code[id]]++
 	}
 	r := Report{Offset: e.offset, State: id, Code: e.code[id]}
+	if e.tracer != nil {
+		e.tracer.OnReport(e.offset, id, e.code[id])
+	}
 	if e.OnReport != nil {
 		e.OnReport(r)
 	}
@@ -266,6 +352,9 @@ func (e *Engine) activate(id automata.StateID) {
 	}
 	e.amark[id] = e.gen
 	e.stats.Active++
+	if e.telemetryOn {
+		e.activateTelemetry(id)
+	}
 	if e.isReport[id] {
 		e.emit(id)
 	}
@@ -275,6 +364,33 @@ func (e *Engine) activate(id automata.StateID) {
 		} else {
 			e.enable(t)
 		}
+	}
+}
+
+// stepTelemetry runs the per-symbol hooks; called only when telemetryOn.
+// Kept out of Step so the disabled hot loop carries a single branch.
+func (e *Engine) stepTelemetry(b byte) {
+	if e.tracer != nil {
+		e.tracer.OnSymbol(e.offset, b)
+	}
+	if e.frontierHist != nil {
+		e.frontierHist.Observe(int64(len(e.frontier)))
+	}
+	if e.prof != nil {
+		for _, s := range e.frontier {
+			e.prof.Enables[s]++
+		}
+	}
+}
+
+// activateTelemetry runs the per-activation hooks; called only when
+// telemetryOn.
+func (e *Engine) activateTelemetry(id automata.StateID) {
+	if e.prof != nil {
+		e.prof.Activations[id]++
+	}
+	if e.tracer != nil {
+		e.tracer.OnActivate(e.offset, id)
 	}
 }
 
@@ -329,6 +445,9 @@ func (e *Engine) fireCounters() {
 // Step consumes one input symbol.
 func (e *Engine) Step(b byte) {
 	e.stats.Symbols++
+	if e.telemetryOn {
+		e.stepTelemetry(b)
+	}
 	// Start-of-data states participate only on the first symbol; they are
 	// part of the enabled frontier conceptually.
 	if e.offset == 0 {

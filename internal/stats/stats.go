@@ -11,6 +11,7 @@ import (
 
 	"automatazoo/internal/automata"
 	"automatazoo/internal/sim"
+	"automatazoo/internal/telemetry"
 	"automatazoo/internal/transform"
 )
 
@@ -96,24 +97,60 @@ func Simulate(a *automata.Automaton, input []byte) Dynamic {
 // is reset between segments, as in per-classification workloads) and
 // aggregates the dynamic profile across all of them.
 func SimulateSegments(a *automata.Automaton, segments [][]byte) Dynamic {
+	return ObserveSegments(a, segments, nil, nil)
+}
+
+// ObserveSegments is SimulateSegments with telemetry attached: the engine
+// publishes into reg (one is created when nil — cross-segment aggregation
+// always flows through the registry rather than hand-rolled sums) and
+// traces to tr when non-nil. The Dynamic result is derived from the
+// registry's sim.* counters; reg may be shared across calls (the deltas
+// this call contributed are what's reported).
+func ObserveSegments(a *automata.Automaton, segments [][]byte, reg *telemetry.Registry, tr telemetry.Tracer) Dynamic {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	before := simCounters(reg)
 	e := sim.New(a)
-	var total sim.Stats
+	e.SetRegistry(reg)
+	e.SetTracer(tr)
 	for _, seg := range segments {
 		e.Reset()
-		st := e.Run(seg)
-		total.Symbols += st.Symbols
-		total.Enabled += st.Enabled
-		total.Active += st.Active
-		total.Reports += st.Reports
-		total.CounterPulses += st.CounterPulses
+		e.Run(seg)
 	}
-	return Dynamic{
-		Symbols:    total.Symbols,
-		ActiveSet:  total.ActiveAvg(),
-		EnabledSet: total.EnabledAvg(),
-		Reports:    total.Reports,
-		ReportRate: total.ReportRate(),
+	after := simCounters(reg)
+	return dynamicFrom(
+		after[0]-before[0], after[1]-before[1],
+		after[2]-before[2], after[3]-before[3])
+}
+
+// simCounters reads the four sim.* counters behind the dynamic columns in
+// a fixed order: symbols, active, enabled, reports.
+func simCounters(reg *telemetry.Registry) [4]int64 {
+	return [4]int64{
+		reg.Counter("sim.symbols").Value(),
+		reg.Counter("sim.active").Value(),
+		reg.Counter("sim.enabled").Value(),
+		reg.Counter("sim.reports").Value(),
 	}
+}
+
+func dynamicFrom(symbols, active, enabled, reports int64) Dynamic {
+	d := Dynamic{Symbols: symbols, Reports: reports}
+	if symbols > 0 {
+		d.ActiveSet = float64(active) / float64(symbols)
+		d.EnabledSet = float64(enabled) / float64(symbols)
+		d.ReportRate = float64(reports) / float64(symbols)
+	}
+	return d
+}
+
+// DynamicFromRegistry derives the Table-I dynamic columns from a
+// registry's cumulative sim.* counters. All rates zero-guard an empty
+// input.
+func DynamicFromRegistry(reg *telemetry.Registry) Dynamic {
+	c := simCounters(reg)
+	return dynamicFrom(c[0], c[1], c[2], c[3])
 }
 
 // Row is one full Table-I row.

@@ -1,0 +1,69 @@
+// Package telemetry is the suite's zero-dependency observability layer:
+// a metrics registry, an execution-event tracer, and per-state activity
+// profiles, shared by both execution engines (internal/sim, internal/dfa)
+// and surfaced by `azoo profile`, `--trace`, `--metrics`, and
+// `--debug-addr`.
+//
+// The paper's entire evaluation is dynamic profiling — Table I's active
+// set, Figure 1's report rates, Tables III–IV's CPU-engine comparisons —
+// and this package is the instrumentation those measurements flow
+// through. Engines nil-guard every hook, so disabled telemetry costs one
+// predictable branch per site and zero allocations.
+//
+// # Metrics registry
+//
+// A Registry is a namespace of named atomic Counters, Gauges, and
+// Histograms. Engines publish under conventional prefixes:
+//
+//	sim.symbols          counter  input symbols consumed
+//	sim.enabled          counter  summed enabled-frontier sizes
+//	sim.active           counter  summed per-symbol matching states
+//	sim.reports          counter  reports emitted
+//	sim.counter_pulses   counter  AP-counter increment events
+//	sim.frontier         histogram per-symbol enabled-frontier size
+//	dfa.symbols          counter  input symbols consumed
+//	dfa.reports          counter  reports emitted
+//	dfa.cache_hits       counter  transitions found interned
+//	dfa.cache_misses     counter  transitions subset-constructed
+//	dfa.cache_evictions  counter  interned dstates abandoned on overflow
+//	dfa.construct_nanos  counter  cumulative subset-construction time
+//	dfa.states           gauge    distinct interned DFA states
+//	dfa.fallbacks        gauge    components running in NFA fallback
+//
+// Registry.Snapshot serializes to deterministic JSON (map keys sort), and
+// PublishExpvar exposes the live snapshot at /debug/vars for long suite
+// runs (see `azoo ... -debug-addr`).
+//
+// # Trace event schema (NDJSON)
+//
+// The NDJSON tracer writes one JSON object per line. Every event carries
+// "ev" (the event kind) and "off" (0-based input offset). Kinds:
+//
+//	{"ev":"symbol","off":N,"byte":B}            input symbol consumed; B in 0..255
+//	{"ev":"activate","off":N,"state":S}         state S matched the symbol at N
+//	{"ev":"report","off":N,"state":S,"code":C}  report with code C emitted
+//	                                            (state is 0 for DFA reports,
+//	                                            which do not retain NFA IDs)
+//	{"ev":"cache","off":N,"comp":K,"kind":"miss"|"evict"}
+//	                                            DFA transition-cache event in
+//	                                            component K
+//
+// Field order is fixed as shown (events are hand-formatted, not
+// reflected), so traces are byte-deterministic for a deterministic run —
+// golden tests rely on this. "symbol" and "activate" events honor
+// NDJSON.SampleEvery (record only offsets ≡ 0 mod SampleEvery); "report"
+// and "cache" events are always recorded. Cache hits are metric-counted
+// but never traced: they occur once per component per byte and would
+// dominate any trace.
+//
+// A trace replays offline: filter by "ev" to rebuild the report stream,
+// bucket "activate" by "state" to rebuild the heatmap, or join "cache"
+// against offsets to see where lazy determinization spends its time.
+//
+// # Per-state profiles and heatmaps
+//
+// StateProfile accumulates per-state activation and enable counts
+// (sim.Engine.EnableProfile). TopK/TopSubgraphs rank the hot states with
+// subgraph attribution via automata.Components, and WriteHeatmap renders
+// the `azoo profile` text heatmap.
+package telemetry

@@ -1,0 +1,250 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (set, not accumulated).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Max raises the gauge to n if n exceeds the current value.
+func (g *Gauge) Max(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets. Bounds are inclusive
+// upper limits; one implicit overflow bucket catches everything above the
+// last bound. Observation is lock-free.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1
+	sum    atomic.Int64
+	count  atomic.Int64
+	max    Gauge
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	// Linear scan: telemetry histograms have ~a dozen buckets and the scan
+	// is branch-predictable; binary search costs more below ~32 bounds.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	h.max.Max(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean observed value, 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Max returns the largest observed value, 0 with no observations.
+func (h *Histogram) Max() int64 { return h.max.Value() }
+
+// ExpBuckets returns n exponentially spaced bounds starting at first and
+// doubling: first, 2*first, 4*first, ... — the standard shape for
+// frontier-size and latency distributions.
+func ExpBuckets(first int64, n int) []int64 {
+	if first < 1 {
+		first = 1
+	}
+	bounds := make([]int64, n)
+	v := first
+	for i := range bounds {
+		bounds[i] = v
+		v *= 2
+	}
+	return bounds
+}
+
+// Registry is a namespace of metrics. Metric constructors are idempotent:
+// asking for an existing name returns the existing metric, so independent
+// code paths can share counters by name. All methods are safe for
+// concurrent use; the metrics themselves are atomic.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{
+			bounds: append([]int64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Bucket is one histogram bucket in a snapshot. UpperBound is -1 for the
+// overflow bucket.
+type Bucket struct {
+	UpperBound int64 `json:"le"`
+	Count      int64 `json:"count"`
+}
+
+// HistogramSnapshot is the serializable state of one histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Mean    float64  `json:"mean"`
+	Max     int64    `json:"max"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. Maps
+// serialize with sorted keys, so encoding a snapshot is deterministic.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the current value of every metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Count: h.Count(), Sum: h.sum.Load(), Mean: h.Mean(), Max: h.Max(),
+			Buckets: make([]Bucket, 0, len(h.counts)),
+		}
+		for i := range h.counts {
+			b := Bucket{UpperBound: -1, Count: h.counts[i].Load()}
+			if i < len(h.bounds) {
+				b.UpperBound = h.bounds[i]
+			}
+			hs.Buckets = append(hs.Buckets, b)
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON. The output is
+// deterministic for a given metric state (keys sort lexically).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Names returns every registered metric name, sorted, for diagnostics.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PublishExpvar exposes the registry's live snapshot under the given
+// expvar name (served at /debug/vars). Publishing the same name twice
+// panics per expvar semantics, so callers publish once per process.
+func (r *Registry) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

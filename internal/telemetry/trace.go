@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// CacheEventKind classifies DFA transition-cache events.
+type CacheEventKind uint8
+
+const (
+	// CacheHit: the transition for (dstate, byte-class) was already
+	// interned. Hits are counted in metrics but, being one per component
+	// per byte, are not delivered to tracers.
+	CacheHit CacheEventKind = iota
+	// CacheMiss: the transition had to be subset-constructed.
+	CacheMiss
+	// CacheEviction: interned DFA states were abandoned because a
+	// component overflowed its budget and fell back to NFA stepping.
+	CacheEviction
+)
+
+// String returns the NDJSON wire name of the event kind.
+func (k CacheEventKind) String() string {
+	switch k {
+	case CacheHit:
+		return "hit"
+	case CacheMiss:
+		return "miss"
+	case CacheEviction:
+		return "evict"
+	}
+	return "unknown"
+}
+
+// Tracer receives execution events from an engine. Implementations must be
+// cheap: hooks run inside engine hot loops (engines nil-guard every call,
+// so a nil tracer costs one predictable branch). State IDs are the
+// automaton's dense uint32 IDs; offset is the 0-based input offset.
+type Tracer interface {
+	// OnSymbol fires once per consumed input symbol, before state updates.
+	OnSymbol(offset int64, b byte)
+	// OnActivate fires when a state matches the current symbol.
+	OnActivate(offset int64, state uint32)
+	// OnReport fires for every emitted report.
+	OnReport(offset int64, state uint32, code int32)
+	// OnCacheEvent fires for DFA transition-cache misses and evictions in
+	// the given component (hits are metric-counted, not traced).
+	OnCacheEvent(offset int64, component int, kind CacheEventKind)
+}
+
+// NDJSON is a Tracer that appends one JSON object per event to a stream —
+// the newline-delimited-JSON trace format documented in this package's
+// doc.go. Events are hand-formatted (no reflection) and buffered; call
+// Flush (or Close) before reading the output.
+//
+// SampleEvery subsamples the high-volume event classes: symbol and
+// activate events are recorded only for offsets where
+// offset%SampleEvery == 0. Reports and cache events are always recorded —
+// they are rare and usually the whole point of the trace. SampleEvery <= 1
+// records everything.
+//
+// NDJSON is safe for use by one engine at a time; guard with an external
+// mutex to share across goroutines.
+type NDJSON struct {
+	mu          sync.Mutex
+	w           *bufio.Writer
+	c           io.Closer // underlying closer if the sink has one
+	buf         []byte
+	SampleEvery int64
+	events      int64
+	err         error
+}
+
+// NewNDJSON returns a tracer writing to w with no sampling (every event).
+func NewNDJSON(w io.Writer) *NDJSON {
+	t := &NDJSON{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 96)}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+func (t *NDJSON) sampled(offset int64) bool {
+	return t.SampleEvery <= 1 || offset%t.SampleEvery == 0
+}
+
+func (t *NDJSON) write() {
+	t.buf = append(t.buf, '}', '\n')
+	if _, err := t.w.Write(t.buf); err != nil && t.err == nil {
+		t.err = err
+	}
+	t.events++
+}
+
+func (t *NDJSON) begin(ev string, offset int64) {
+	t.buf = t.buf[:0]
+	t.buf = append(t.buf, `{"ev":"`...)
+	t.buf = append(t.buf, ev...)
+	t.buf = append(t.buf, `","off":`...)
+	t.buf = strconv.AppendInt(t.buf, offset, 10)
+}
+
+func (t *NDJSON) field(name string, v int64) {
+	t.buf = append(t.buf, ',', '"')
+	t.buf = append(t.buf, name...)
+	t.buf = append(t.buf, '"', ':')
+	t.buf = strconv.AppendInt(t.buf, v, 10)
+}
+
+// OnSymbol implements Tracer.
+func (t *NDJSON) OnSymbol(offset int64, b byte) {
+	if !t.sampled(offset) {
+		return
+	}
+	t.mu.Lock()
+	t.begin("symbol", offset)
+	t.field("byte", int64(b))
+	t.write()
+	t.mu.Unlock()
+}
+
+// OnActivate implements Tracer.
+func (t *NDJSON) OnActivate(offset int64, state uint32) {
+	if !t.sampled(offset) {
+		return
+	}
+	t.mu.Lock()
+	t.begin("activate", offset)
+	t.field("state", int64(state))
+	t.write()
+	t.mu.Unlock()
+}
+
+// OnReport implements Tracer.
+func (t *NDJSON) OnReport(offset int64, state uint32, code int32) {
+	t.mu.Lock()
+	t.begin("report", offset)
+	t.field("state", int64(state))
+	t.field("code", int64(code))
+	t.write()
+	t.mu.Unlock()
+}
+
+// OnCacheEvent implements Tracer.
+func (t *NDJSON) OnCacheEvent(offset int64, component int, kind CacheEventKind) {
+	t.mu.Lock()
+	t.begin("cache", offset)
+	t.field("comp", int64(component))
+	t.buf = append(t.buf, `,"kind":"`...)
+	t.buf = append(t.buf, kind.String()...)
+	t.buf = append(t.buf, '"')
+	t.write()
+	t.mu.Unlock()
+}
+
+// Events returns the number of events written so far.
+func (t *NDJSON) Events() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+// Flush drains the write buffer and returns the first error seen.
+func (t *NDJSON) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Close flushes and closes the underlying writer when it is an io.Closer.
+func (t *NDJSON) Close() error {
+	err := t.Flush()
+	if t.c != nil {
+		if cerr := t.c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
