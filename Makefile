@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race allocguard bench bench-engines clean
+.PHONY: ci build vet test race race-parallel allocguard bench bench-engines bench-parallel clean
 
-ci: vet build test race allocguard
+ci: vet build test race-parallel race allocguard
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,14 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./...
 
+# Fast, focused race coverage of the parallel execution layer: the
+# worker pool itself, partitioned parallel runs, the shared telemetry
+# registry, and the parallel stats harness. `race` covers these too;
+# this target fails fast and stays cheap enough to run on every change.
+race-parallel:
+	$(GO) test -race -count=1 ./internal/parallel/ ./internal/telemetry/
+	$(GO) test -race -count=1 -run 'Parallel' ./internal/partition/ ./internal/stats/
+
 # Guard the disabled-telemetry fast path: sim.Engine.Run must stay
 # allocation-free with no tracer/profile/registry attached.
 allocguard:
@@ -29,6 +37,11 @@ allocguard:
 # judged against these).
 bench-engines:
 	$(GO) test -bench 'BenchmarkNFAEngineThroughput|BenchmarkDFAEngineThroughput|BenchmarkTable3' -benchmem -run '^$$' .
+
+# Sequential-vs-parallel throughput of the worker-pool execution layer;
+# the j=1 / j=N ratio of each pair is the parallel speedup.
+bench-parallel:
+	$(GO) test -bench 'BenchmarkParallel' -benchmem -run '^$$' .
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .

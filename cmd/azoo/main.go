@@ -6,26 +6,35 @@
 //
 //	azoo list
 //	azoo stats  -bench "Snort" [-scale 0.05] [-input 200000] [-compress]
-//	azoo run    -bench "ClamAV" [-scale 0.05] [-input 200000] [-engine nfa|dfa]
+//	azoo run    -bench "ClamAV" [-scale 0.05] [-input 200000] [-engine nfa|dfa] [-j N]
 //	azoo profile snort [-top 20] [-trace out.ndjson] [-metrics out.json]
-//	azoo table1 [-scale 0.05] [-input 200000] [-compress]
-//	azoo table2 [-samples 4000]
-//	azoo table3 [-filters 1719] [-itemsets 20000]
-//	azoo table4 [-samples 4000]
+//	azoo table1 [-scale 0.05] [-input 200000] [-compress] [-j N]
+//	azoo table2 [-samples 4000] [-j N]
+//	azoo table3 [-filters 1719] [-itemsets 20000] [-j N]
+//	azoo table4 [-samples 4000] [-j N]
 //	azoo fig1   [-filters 10] [-symbols 1000000] [-trials 10]   (also Table V)
 //	azoo snortrates [-scale 0.2] [-input 400000]
+//
+// The -j flag sets the worker count of the parallel execution layer
+// (internal/parallel): -j 1 reproduces the single-threaded behaviour
+// exactly, the default is one worker per CPU, and report output is
+// byte-identical at every value (see ARCHITECTURE.md).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
+	"automatazoo/internal/automata"
 	"automatazoo/internal/core"
 	"automatazoo/internal/dfa"
 	"automatazoo/internal/experiments"
 	"automatazoo/internal/mesh"
 	"automatazoo/internal/mnrl"
+	"automatazoo/internal/parallel"
 	"automatazoo/internal/partition"
 	"automatazoo/internal/spatial"
 	"automatazoo/internal/stats"
@@ -97,6 +106,13 @@ func suiteFlags(fs *flag.FlagSet) (*float64, *int, *uint64) {
 	return scale, input, seed
 }
 
+// workersFlag registers -j, the worker count of the parallel execution
+// layer. 1 reproduces single-threaded behaviour exactly; output is
+// byte-identical at every value.
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("j", runtime.NumCPU(), "parallel workers (1 = sequential; output is identical at any value)")
+}
+
 func cmdList() error {
 	fmt.Printf("%-22s %-30s %s\n", "Benchmark", "Domain", "Input")
 	for _, b := range core.All() {
@@ -138,6 +154,7 @@ func cmdRun(args []string) error {
 	scale, input, seed := suiteFlags(fs)
 	name := fs.String("bench", "", "benchmark name")
 	engine := fs.String("engine", "nfa", "engine: nfa (VASim-like) or dfa (Hyperscan-like)")
+	workers := workersFlag(fs)
 	tf := telemetryFlags(fs)
 	fs.Parse(args)
 	b, err := resolveBenchmark(*name)
@@ -155,25 +172,32 @@ func cmdRun(args []string) error {
 	}
 	switch *engine {
 	case "nfa":
-		dyn := stats.ObserveSegments(a, segs, sess.registry(), sess.ndjson())
+		// -j 1 is the exact single-engine path; -j N partitions the
+		// automaton across the worker pool. Both print identical lines
+		// (asserted suite-wide by TestRunOutputByteIdenticalAcrossWorkers).
+		var dyn stats.Dynamic
+		if *workers == 1 {
+			dyn = stats.ObserveSegments(a, segs, sess.registry(), sess.ndjson())
+		} else {
+			dyn, err = stats.ObserveSegmentsParallel(context.Background(), a, segs, *workers, sess.registry(), sess.ndjson())
+			if err != nil {
+				return err
+			}
+		}
 		fmt.Printf("%s: %d states, %d symbols, %d reports (%.6f/sym), active set %.2f\n",
 			b.Name, a.NumStates(), dyn.Symbols, dyn.Reports,
 			dyn.ReportRate, dyn.ActiveSet)
 	case "dfa":
-		e, err := dfa.New(a)
+		var symbols, reports int64
+		var st dfa.Stats
+		if *workers == 1 {
+			symbols, reports, st, err = runDFAWhole(a, segs, sess)
+		} else {
+			symbols, reports, st, err = runDFAParallel(a, segs, *workers, sess)
+		}
 		if err != nil {
 			return err
 		}
-		e.SetRegistry(sess.registry())
-		e.SetTracer(sess.ndjson())
-		var symbols, reports int64
-		for _, seg := range segs {
-			e.Reset()
-			st := e.Run(seg)
-			symbols += st.Symbols
-			reports += st.Reports
-		}
-		st := e.Stats()
 		fmt.Printf("%s: %d states, %d symbols, %d reports, %d DFA states, %d fallbacks\n",
 			b.Name, a.NumStates(), symbols, reports, st.DFAStates, st.Fallbacks)
 		fmt.Printf("transition cache: %.2f%% hit rate, %.4f evictions/lookup\n",
@@ -184,10 +208,76 @@ func cmdRun(args []string) error {
 	return sess.Close()
 }
 
+// runDFAWhole scans every segment on one whole-automaton DFA engine (the
+// -j 1 path).
+func runDFAWhole(a *automata.Automaton, segs [][]byte, sess *obsSession) (symbols, reports int64, st dfa.Stats, err error) {
+	e, err := dfa.New(a)
+	if err != nil {
+		return 0, 0, dfa.Stats{}, err
+	}
+	e.SetRegistry(sess.registry())
+	e.SetTracer(sess.ndjson())
+	for _, seg := range segs {
+		e.Reset()
+		s := e.Run(seg)
+		symbols += s.Symbols
+		reports += s.Reports
+	}
+	return symbols, reports, e.Stats(), nil
+}
+
+// runDFAParallel partitions the automaton at component granularity
+// (partition.ForWorkers) and scans every segment on one DFA engine per
+// slice across the worker pool. The lazy-DFA engine is strictly
+// per-component — budgets, byte classes, interned states, and cache
+// counters never cross components — so the summed statistics equal the
+// whole-engine run's exactly and the printed output is byte-identical to
+// -j 1.
+func runDFAParallel(a *automata.Automaton, segs [][]byte, workers int, sess *obsSession) (symbols, reports int64, agg dfa.Stats, err error) {
+	plan := partition.ForWorkers(a, workers)
+	perSlice := make([]dfa.Stats, plan.Passes())
+	sliceReports := make([]int64, plan.Passes())
+	err = parallel.ForEach(context.Background(), workers, plan.Passes(), func(i int) error {
+		sub, err := plan.Extract(i)
+		if err != nil {
+			return err
+		}
+		e, err := dfa.New(sub)
+		if err != nil {
+			return err
+		}
+		e.SetRegistry(sess.registry())
+		e.SetTracer(sess.ndjson())
+		for _, seg := range segs {
+			e.Reset() // clears per-run Symbols/Reports; cache counters persist
+			sliceReports[i] += e.Run(seg).Reports
+		}
+		perSlice[i] = e.Stats()
+		return nil
+	})
+	if err != nil {
+		return 0, 0, dfa.Stats{}, err
+	}
+	for _, seg := range segs {
+		symbols += int64(len(seg)) // stream symbols, not per-slice engine work
+	}
+	for i, st := range perSlice {
+		reports += sliceReports[i]
+		agg.DFAStates += st.DFAStates
+		agg.Fallbacks += st.Fallbacks
+		agg.CacheHits += st.CacheHits
+		agg.CacheMisses += st.CacheMisses
+		agg.CacheEvictions += st.CacheEvictions
+		agg.ConstructNanos += st.ConstructNanos
+	}
+	return symbols, reports, agg, nil
+}
+
 func cmdTable1(args []string) error {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
 	scale, input, seed := suiteFlags(fs)
 	compress := fs.Bool("compress", false, "also run prefix-merge compression (slow at large scales)")
+	workers := workersFlag(fs)
 	tf := telemetryFlags(fs)
 	fs.Parse(args)
 	sess, err := tf.session()
@@ -195,7 +285,7 @@ func cmdTable1(args []string) error {
 		return err
 	}
 	cfg := core.Config{Scale: *scale, InputBytes: *input, Seed: *seed}
-	rows, err := experiments.TableIObserved(cfg, *compress, sess.observer())
+	rows, err := experiments.TableIParallel(context.Background(), cfg, *compress, *workers, sess.observer())
 	if err != nil {
 		return err
 	}
@@ -211,13 +301,14 @@ func cmdTable2(args []string) error {
 	fs := flag.NewFlagSet("table2", flag.ExitOnError)
 	samples := fs.Int("samples", 4000, "dataset size")
 	seed := fs.Uint64("seed", 7, "seed")
+	workers := workersFlag(fs)
 	tf := telemetryFlags(fs)
 	fs.Parse(args)
 	sess, err := tf.session()
 	if err != nil {
 		return err
 	}
-	rows, err := experiments.TableIIObserved(*samples, *seed, sess.observer())
+	rows, err := experiments.TableIIParallel(context.Background(), *samples, *seed, *workers, sess.observer())
 	if err != nil {
 		return err
 	}
@@ -237,13 +328,14 @@ func cmdTable3(args []string) error {
 	filters := fs.Int("filters", 1719, "sequence-matching filters")
 	itemsets := fs.Int("itemsets", 20_000, "input itemsets")
 	seed := fs.Uint64("seed", 3, "seed")
+	workers := workersFlag(fs)
 	tf := telemetryFlags(fs)
 	fs.Parse(args)
 	sess, err := tf.session()
 	if err != nil {
 		return err
 	}
-	rows, err := experiments.TableIIIObserved(*filters, *itemsets, *seed, sess.observer())
+	rows, err := experiments.TableIIIParallel(context.Background(), *filters, *itemsets, *seed, *workers, sess.observer())
 	if err != nil {
 		return err
 	}
@@ -266,13 +358,14 @@ func cmdTable4(args []string) error {
 	fs := flag.NewFlagSet("table4", flag.ExitOnError)
 	samples := fs.Int("samples", 4000, "dataset size")
 	seed := fs.Uint64("seed", 5, "seed")
+	workers := workersFlag(fs)
 	tf := telemetryFlags(fs)
 	fs.Parse(args)
 	sess, err := tf.session()
 	if err != nil {
 		return err
 	}
-	rows, err := experiments.TableIVObserved(*samples, *seed, sess.observer())
+	rows, err := experiments.TableIVParallel(context.Background(), *samples, *seed, *workers, sess.observer())
 	if err != nil {
 		return err
 	}

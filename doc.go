@@ -8,7 +8,10 @@
 // 8-striding, the standard automata transformations (prefix-merge
 // compression, widening), the 25 benchmarks of the paper's Table I across
 // 13 application domains, and experiment harnesses that regenerate every
-// table and figure in the paper's evaluation.
+// table and figure in the paper's evaluation. A shared worker-pool layer
+// (internal/parallel) fans independent automata subgraphs and experiment
+// kernels across CPUs with byte-identical output at every worker count;
+// ARCHITECTURE.md maps the packages and the data flow.
 //
 // Entry points:
 //

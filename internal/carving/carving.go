@@ -191,7 +191,13 @@ func Build() (*automata.Automaton, error) {
 		return nil, fmt.Errorf("carving: stride mpeg2: %w", err)
 	}
 	b.Merge(mpegByte, 0)
-	for code, p := range regexPatterns {
+	// Iterate in code order: map range order would vary state numbering
+	// (and thus component order) run to run.
+	for code := 0; code < NumPatterns; code++ {
+		p, ok := regexPatterns[code]
+		if !ok {
+			continue
+		}
 		parsed, err := regex.Parse(p.pattern, p.flags)
 		if err != nil {
 			return nil, fmt.Errorf("carving: %s: %w", Names[code], err)

@@ -5,23 +5,18 @@
 // (profile-driven mesh parameter selection), and the Section-V Snort
 // report-rate experiment. cmd/azoo and the root benchmarks are thin
 // drivers over these functions.
+//
+// Each table's independent kernels can be fanned out across a worker pool
+// with the Table*Parallel variants (see parallel.go); the sequential
+// TableN / TableNObserved forms are the same harnesses at workers == 1.
 package experiments
 
 import (
-	"fmt"
-	"runtime"
-	"time"
+	"context"
 
-	"automatazoo/internal/automata"
 	"automatazoo/internal/core"
-	"automatazoo/internal/dfa"
 	"automatazoo/internal/mesh"
-	"automatazoo/internal/randx"
-	"automatazoo/internal/rf"
-	"automatazoo/internal/sim"
 	"automatazoo/internal/snort"
-	"automatazoo/internal/spatial"
-	"automatazoo/internal/spm"
 	"automatazoo/internal/stats"
 	"automatazoo/internal/telemetry"
 )
@@ -58,25 +53,7 @@ func TableI(cfg core.Config, compress bool) ([]stats.Row, error) {
 // TableIObserved is TableI with telemetry: every benchmark's simulation
 // publishes into obs.Registry and traces to obs.Tracer.
 func TableIObserved(cfg core.Config, compress bool, obs *Observer) ([]stats.Row, error) {
-	var rows []stats.Row
-	for _, b := range core.All() {
-		a, segs, err := b.Build(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
-		}
-		row := stats.Row{
-			Name:    b.Name,
-			Domain:  b.Domain,
-			Input:   b.Input,
-			Static:  stats.Compute(a),
-			Dynamic: stats.ObserveSegments(a, segs, obs.registry(), obs.tracer()),
-		}
-		if compress {
-			row.Compression = stats.Compress(a)
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return TableIParallel(context.Background(), cfg, compress, 1, obs)
 }
 
 // TableIIRow is one Random Forest variant's trade-off summary.
@@ -103,40 +80,7 @@ func TableII(samples int, seed uint64) ([]TableIIRow, error) {
 // symbol-cost gauges are recorded into obs.Registry (there is no engine
 // run to trace — the table compares trained models, not scans).
 func TableIIObserved(samples int, seed uint64, obs *Observer) ([]TableIIRow, error) {
-	ds := rf.GenerateDataset(samples, seed)
-	train, test := ds.Split(0.8)
-	var rows []TableIIRow
-	var baseSymbols int
-	for _, v := range []rf.Variant{rf.VariantA, rf.VariantB, rf.VariantC} {
-		m, err := rf.Train(train, v, seed)
-		if err != nil {
-			return nil, err
-		}
-		a, enc, err := m.BuildAutomaton()
-		if err != nil {
-			return nil, err
-		}
-		row := TableIIRow{
-			Variant:    v.Name,
-			Features:   v.Features,
-			MaxLeaves:  v.MaxLeaves,
-			States:     a.NumStates(),
-			Accuracy:   m.Accuracy(test),
-			SymbolsPer: enc.SymbolsPerSample,
-		}
-		if v.Name == "B" {
-			baseSymbols = enc.SymbolsPerSample
-		}
-		if r := obs.registry(); r != nil {
-			r.Gauge("table2.states." + v.Name).Set(int64(a.NumStates()))
-			r.Gauge("table2.symbols_per_sample." + v.Name).Set(int64(enc.SymbolsPerSample))
-		}
-		rows = append(rows, row)
-	}
-	for i := range rows {
-		rows[i].RuntimeRel = float64(rows[i].SymbolsPer) / float64(baseSymbols)
-	}
-	return rows, nil
+	return TableIIParallel(context.Background(), samples, seed, 1, obs)
 }
 
 // TableIIIRow is one engine's padding-overhead measurement. For the DFA
@@ -166,82 +110,7 @@ func TableIII(filters, inputItemsets int, seed uint64) ([]TableIIIRow, error) {
 // (Symbol-level tracing is not attached inside the timed loops — it would
 // measure the tracer, not the engine.)
 func TableIIIObserved(filters, inputItemsets int, seed uint64, obs *Observer) ([]TableIIIRow, error) {
-	rng := randx.New(seed)
-	pats := make([]spm.Pattern, filters)
-	for i := range pats {
-		pats[i] = spm.RandomPattern(rng, 6)
-	}
-	plain, err := spm.Benchmark(filters, 6, spm.Config{}, seed)
-	if err != nil {
-		return nil, err
-	}
-	padded, err := spm.Benchmark(filters, 6, spm.Config{Padding: 4}, seed)
-	if err != nil {
-		return nil, err
-	}
-	input := spm.Input(pats, inputItemsets, 5, 41, seed)
-
-	// Each measurement is the best of three timed passes, and the DFA
-	// passes loop the input enough times to run well past timer noise.
-	bestOf := func(n int, f func() float64) float64 {
-		best := f()
-		for i := 1; i < n; i++ {
-			if v := f(); v < best {
-				best = v
-			}
-		}
-		return best
-	}
-	timeNFA := func(a *automata.Automaton) float64 {
-		e := sim.New(a)
-		e.SetRegistry(obs.registry())
-		return bestOf(3, func() float64 {
-			e.Reset()
-			start := time.Now()
-			e.Run(input)
-			return time.Since(start).Seconds()
-		})
-	}
-	var cacheTotal dfa.Stats
-	timeDFA := func(a *automata.Automaton) (float64, error) {
-		e, err := dfa.New(a)
-		if err != nil {
-			return 0, err
-		}
-		e.SetRegistry(obs.registry())
-		e.SetTracer(obs.tracer())
-		e.Run(input) // warm the transition cache fully
-		const loops = 12
-		sec := bestOf(3, func() float64 {
-			start := time.Now()
-			for l := 0; l < loops; l++ {
-				e.Reset()
-				e.Run(input)
-			}
-			return time.Since(start).Seconds() / loops
-		})
-		st := e.Stats()
-		cacheTotal.CacheHits += st.CacheHits
-		cacheTotal.CacheMisses += st.CacheMisses
-		cacheTotal.CacheEvictions += st.CacheEvictions
-		return sec, nil
-	}
-	nfaPlain := timeNFA(plain)
-	nfaPadded := timeNFA(padded)
-	dfaPlain, err := timeDFA(plain)
-	if err != nil {
-		return nil, err
-	}
-	dfaPadded, err := timeDFA(padded)
-	if err != nil {
-		return nil, err
-	}
-	pct := func(plain, padded float64) float64 { return (padded - plain) / plain * 100 }
-	return []TableIIIRow{
-		{Engine: "VASim (NFA interpreter)", PlainSec: nfaPlain, PaddedSec: nfaPadded, OverheadPct: pct(nfaPlain, nfaPadded)},
-		{Engine: "Hyperscan (lazy DFA)", PlainSec: dfaPlain, PaddedSec: dfaPadded, OverheadPct: pct(dfaPlain, dfaPadded),
-			HasCache: true, CacheHitRate: cacheTotal.HitRate(), CacheEvictRate: cacheTotal.EvictionRate()},
-	}, nil
+	return TableIIIParallel(context.Background(), filters, inputItemsets, seed, 1, obs)
 }
 
 func min(a, b int) int {
@@ -275,82 +144,7 @@ func TableIV(samples int, seed uint64) ([]TableIVRow, error) {
 // TableIVObserved is TableIV with telemetry: the DFA engine publishes into
 // obs.Registry and traces cache events to obs.Tracer.
 func TableIVObserved(samples int, seed uint64, obs *Observer) ([]TableIVRow, error) {
-	ds := rf.GenerateDataset(samples, seed)
-	train, test := ds.Split(0.8)
-	m, err := rf.Train(train, rf.VariantB, seed)
-	if err != nil {
-		return nil, err
-	}
-	a, enc, err := m.BuildAutomaton()
-	if err != nil {
-		return nil, err
-	}
-	// Replicate the test set into a batch large enough for stable timing
-	// and effective multi-threading.
-	const batchTarget = 20000
-	batch := make([]rf.Sample, 0, batchTarget)
-	for len(batch) < batchTarget {
-		batch = append(batch, test.Samples...)
-	}
-	batch = batch[:batchTarget]
-	// Pre-encode the automata engine's symbol streams (the scan, not the
-	// encoding, is what the engines are compared on).
-	hsN := min(2000, len(batch))
-	encoded := make([][]byte, hsN)
-	qbuf := make([]uint8, m.FM.NumSelected())
-	for i := 0; i < hsN; i++ {
-		m.FM.QuantizeInto(batch[i].Pixels, qbuf)
-		encoded[i] = enc.Encode(qbuf)
-	}
-
-	// Hyperscan proxy: per-sample DFA scan.
-	de, err := dfa.New(a)
-	if err != nil {
-		return nil, err
-	}
-	de.SetRegistry(obs.registry())
-	de.SetTracer(obs.tracer())
-	// Warm the transition caches once.
-	for _, s := range encoded[:min(64, len(encoded))] {
-		de.Reset()
-		de.Run(s)
-	}
-	start := time.Now()
-	for _, s := range encoded {
-		de.Reset()
-		de.Run(s)
-	}
-	hsRate := float64(hsN) / time.Since(start).Seconds()
-
-	// Native single-threaded (from raw pixels, like the batch API).
-	start = time.Now()
-	for i := range batch {
-		m.FM.QuantizeInto(batch[i].Pixels, qbuf)
-		m.PredictQuantized(qbuf)
-	}
-	nativeRate := float64(len(batch)) / time.Since(start).Seconds()
-
-	// Native multi-threaded.
-	start = time.Now()
-	m.PredictBatch(batch, runtime.GOMAXPROCS(0))
-	mtRate := float64(len(batch)) / time.Since(start).Seconds()
-
-	// REAPR analytical model.
-	reapr := spatial.REAPR()
-	fpgaRate := reapr.ClassificationsPerSec(enc.SymbolsPerSample)
-
-	dfaStats := de.Stats()
-	rows := []TableIVRow{
-		{Engine: "Hyperscan (automata, CPU)", KClassPerSec: hsRate / 1e3,
-			HasCache: true, CacheHitRate: dfaStats.HitRate(), CacheEvictRate: dfaStats.EvictionRate()},
-		{Engine: "Scikit-Learn (native, 1 thread)", KClassPerSec: nativeRate / 1e3},
-		{Engine: "Scikit-Learn MT (native)", KClassPerSec: mtRate / 1e3},
-		{Engine: "REAPR FPGA (automata, model)", KClassPerSec: fpgaRate / 1e3},
-	}
-	for i := range rows {
-		rows[i].Relative = rows[i].KClassPerSec / rows[0].KClassPerSec
-	}
-	return rows, nil
+	return TableIVParallel(context.Background(), samples, seed, 1, obs)
 }
 
 // TableVRow is one profile-selected mesh configuration.

@@ -1,0 +1,340 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"automatazoo/internal/automata"
+	"automatazoo/internal/core"
+	"automatazoo/internal/dfa"
+	"automatazoo/internal/parallel"
+	"automatazoo/internal/randx"
+	"automatazoo/internal/rf"
+	"automatazoo/internal/sim"
+	"automatazoo/internal/spatial"
+	"automatazoo/internal/spm"
+	"automatazoo/internal/stats"
+	"automatazoo/internal/telemetry"
+)
+
+// The Table*Parallel harnesses fan each table's independent benchmark
+// kernels out across a worker pool (internal/parallel). Rows always come
+// back in the table's canonical order, and telemetry is kept deterministic
+// by giving every concurrent kernel its own registry and merging them into
+// obs.Registry in row order once all kernels finish (telemetry.Registry
+// merge semantics are commutative, so final contents do not depend on
+// completion order). A shared tracer receives events from all kernels;
+// interleaving across kernels is scheduling-dependent under workers > 1.
+//
+// workers == 1 runs every kernel inline in table order — byte-identical
+// behaviour to the sequential TableN/TableNObserved harnesses, which are
+// now thin wrappers over these with workers == 1.
+//
+// Rows that contain wall-clock timings (Tables III and IV) remain valid
+// per-kernel measurements under workers > 1, but concurrent kernels share
+// the machine: use workers == 1 when reproducing the paper's absolute
+// numbers, and workers > 1 when regenerating many tables quickly.
+
+// localRegistries allocates one registry per kernel when obs carries a
+// registry (nil otherwise), so concurrent kernels never contend and the
+// merged result is deterministic.
+func localRegistries(obs *Observer, n int) []*telemetry.Registry {
+	if obs.registry() == nil {
+		return make([]*telemetry.Registry, n)
+	}
+	regs := make([]*telemetry.Registry, n)
+	for i := range regs {
+		regs[i] = telemetry.NewRegistry()
+	}
+	return regs
+}
+
+// mergeRegistries folds the per-kernel registries into obs.Registry in
+// index order.
+func mergeRegistries(obs *Observer, regs []*telemetry.Registry) {
+	shared := obs.registry()
+	if shared == nil {
+		return
+	}
+	for _, r := range regs {
+		shared.MergeFrom(r)
+	}
+}
+
+// TableIParallel regenerates Table I with up to workers benchmarks
+// generated, simulated, and (optionally) compressed concurrently. Rows
+// are returned in Table I order regardless of completion order.
+func TableIParallel(ctx context.Context, cfg core.Config, compress bool, workers int, obs *Observer) ([]stats.Row, error) {
+	benches := core.All()
+	rows := make([]stats.Row, len(benches))
+	regs := localRegistries(obs, len(benches))
+	tr := obs.tracer()
+	err := parallel.ForEach(ctx, workers, len(benches), func(i int) error {
+		b := benches[i]
+		a, segs, err := b.Build(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.Name, err)
+		}
+		row := stats.Row{
+			Name:    b.Name,
+			Domain:  b.Domain,
+			Input:   b.Input,
+			Static:  stats.Compute(a),
+			Dynamic: stats.ObserveSegments(a, segs, regs[i], tr),
+		}
+		if compress {
+			row.Compression = stats.Compress(a)
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	mergeRegistries(obs, regs)
+	return rows, nil
+}
+
+// TableIIParallel regenerates Table II with the three Random Forest
+// variants trained and built concurrently. The dataset is generated once
+// and shared read-only.
+func TableIIParallel(ctx context.Context, samples int, seed uint64, workers int, obs *Observer) ([]TableIIRow, error) {
+	ds := rf.GenerateDataset(samples, seed)
+	train, test := ds.Split(0.8)
+	variants := []rf.Variant{rf.VariantA, rf.VariantB, rf.VariantC}
+	regs := localRegistries(obs, len(variants))
+	rows, err := parallel.Map(ctx, workers, len(variants), func(i int) (TableIIRow, error) {
+		v := variants[i]
+		m, err := rf.Train(train, v, seed)
+		if err != nil {
+			return TableIIRow{}, err
+		}
+		a, enc, err := m.BuildAutomaton()
+		if err != nil {
+			return TableIIRow{}, err
+		}
+		if r := regs[i]; r != nil {
+			r.Gauge("table2.states." + v.Name).Set(int64(a.NumStates()))
+			r.Gauge("table2.symbols_per_sample." + v.Name).Set(int64(enc.SymbolsPerSample))
+		}
+		return TableIIRow{
+			Variant:    v.Name,
+			Features:   v.Features,
+			MaxLeaves:  v.MaxLeaves,
+			States:     a.NumStates(),
+			Accuracy:   m.Accuracy(test),
+			SymbolsPer: enc.SymbolsPerSample,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	mergeRegistries(obs, regs)
+	var baseSymbols int
+	for _, r := range rows {
+		if r.Variant == "B" {
+			baseSymbols = r.SymbolsPer
+		}
+	}
+	for i := range rows {
+		rows[i].RuntimeRel = float64(rows[i].SymbolsPer) / float64(baseSymbols)
+	}
+	return rows, nil
+}
+
+// TableIIIParallel regenerates Table III with its four timed kernels
+// (NFA plain, NFA padded, DFA plain, DFA padded) run concurrently on up
+// to workers goroutines. Each kernel's wall-clock measurement is taken on
+// its own engine; with workers > 1 the kernels contend for the machine,
+// so use workers == 1 for paper-fidelity absolute timings.
+func TableIIIParallel(ctx context.Context, filters, inputItemsets int, seed uint64, workers int, obs *Observer) ([]TableIIIRow, error) {
+	rng := randx.New(seed)
+	pats := make([]spm.Pattern, filters)
+	for i := range pats {
+		pats[i] = spm.RandomPattern(rng, 6)
+	}
+	// The two automaton builds are themselves independent work items.
+	built, err := parallel.Map(ctx, workers, 2, func(i int) (*automata.Automaton, error) {
+		pad := 0
+		if i == 1 {
+			pad = 4
+		}
+		return spm.Benchmark(filters, 6, spm.Config{Padding: pad}, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	plain, padded := built[0], built[1]
+	input := spm.Input(pats, inputItemsets, 5, 41, seed)
+
+	bestOf := func(n int, f func() float64) float64 {
+		best := f()
+		for i := 1; i < n; i++ {
+			if v := f(); v < best {
+				best = v
+			}
+		}
+		return best
+	}
+	regs := localRegistries(obs, 4)
+	tr := obs.tracer()
+	timeNFA := func(a *automata.Automaton, reg *telemetry.Registry) float64 {
+		e := sim.New(a)
+		e.SetRegistry(reg)
+		return bestOf(3, func() float64 {
+			e.Reset()
+			start := time.Now()
+			e.Run(input)
+			return time.Since(start).Seconds()
+		})
+	}
+	timeDFA := func(a *automata.Automaton, reg *telemetry.Registry) (float64, dfa.Stats, error) {
+		e, err := dfa.New(a)
+		if err != nil {
+			return 0, dfa.Stats{}, err
+		}
+		e.SetRegistry(reg)
+		e.SetTracer(tr)
+		e.Run(input) // warm the transition cache fully
+		const loops = 12
+		sec := bestOf(3, func() float64 {
+			start := time.Now()
+			for l := 0; l < loops; l++ {
+				e.Reset()
+				e.Run(input)
+			}
+			return time.Since(start).Seconds() / loops
+		})
+		return sec, e.Stats(), nil
+	}
+
+	// Kernel order matches the sequential harness: NFA plain, NFA padded,
+	// DFA plain, DFA padded.
+	secs := make([]float64, 4)
+	dfaStats := make([]dfa.Stats, 4)
+	autos := []*automata.Automaton{plain, padded, plain, padded}
+	err = parallel.ForEach(ctx, workers, 4, func(i int) error {
+		if i < 2 {
+			secs[i] = timeNFA(autos[i], regs[i])
+			return nil
+		}
+		sec, st, err := timeDFA(autos[i], regs[i])
+		if err != nil {
+			return err
+		}
+		secs[i], dfaStats[i] = sec, st
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	mergeRegistries(obs, regs)
+	var cacheTotal dfa.Stats
+	for _, st := range dfaStats {
+		cacheTotal.CacheHits += st.CacheHits
+		cacheTotal.CacheMisses += st.CacheMisses
+		cacheTotal.CacheEvictions += st.CacheEvictions
+	}
+	pct := func(plain, padded float64) float64 { return (padded - plain) / plain * 100 }
+	return []TableIIIRow{
+		{Engine: "VASim (NFA interpreter)", PlainSec: secs[0], PaddedSec: secs[1], OverheadPct: pct(secs[0], secs[1])},
+		{Engine: "Hyperscan (lazy DFA)", PlainSec: secs[2], PaddedSec: secs[3], OverheadPct: pct(secs[2], secs[3]),
+			HasCache: true, CacheHitRate: cacheTotal.HitRate(), CacheEvictRate: cacheTotal.EvictionRate()},
+	}, nil
+}
+
+// TableIVParallel regenerates Table IV with its single-threaded kernels
+// (the Hyperscan-proxy DFA scan, native single-threaded inference, and
+// the REAPR analytical model) run concurrently; the native multi-threaded
+// measurement runs after the pool drains, because it saturates every core
+// by itself. As with Table III, workers == 1 reproduces the sequential
+// harness exactly.
+func TableIVParallel(ctx context.Context, samples int, seed uint64, workers int, obs *Observer) ([]TableIVRow, error) {
+	ds := rf.GenerateDataset(samples, seed)
+	train, test := ds.Split(0.8)
+	m, err := rf.Train(train, rf.VariantB, seed)
+	if err != nil {
+		return nil, err
+	}
+	a, enc, err := m.BuildAutomaton()
+	if err != nil {
+		return nil, err
+	}
+	const batchTarget = 20000
+	batch := make([]rf.Sample, 0, batchTarget)
+	for len(batch) < batchTarget {
+		batch = append(batch, test.Samples...)
+	}
+	batch = batch[:batchTarget]
+
+	var hsRate, nativeRate, fpgaRate float64
+	var dfaStats dfa.Stats
+	regs := localRegistries(obs, 3)
+	tr := obs.tracer()
+	kernels := []func() error{
+		func() error { // Hyperscan proxy: per-sample DFA scan.
+			hsN := min(2000, len(batch))
+			encoded := make([][]byte, hsN)
+			qbuf := make([]uint8, m.FM.NumSelected())
+			for i := 0; i < hsN; i++ {
+				m.FM.QuantizeInto(batch[i].Pixels, qbuf)
+				encoded[i] = enc.Encode(qbuf)
+			}
+			de, err := dfa.New(a)
+			if err != nil {
+				return err
+			}
+			de.SetRegistry(regs[0])
+			de.SetTracer(tr)
+			for _, s := range encoded[:min(64, len(encoded))] {
+				de.Reset()
+				de.Run(s)
+			}
+			start := time.Now()
+			for _, s := range encoded {
+				de.Reset()
+				de.Run(s)
+			}
+			hsRate = float64(hsN) / time.Since(start).Seconds()
+			dfaStats = de.Stats()
+			return nil
+		},
+		func() error { // Native single-threaded, from raw pixels.
+			qbuf := make([]uint8, m.FM.NumSelected())
+			start := time.Now()
+			for i := range batch {
+				m.FM.QuantizeInto(batch[i].Pixels, qbuf)
+				m.PredictQuantized(qbuf)
+			}
+			nativeRate = float64(len(batch)) / time.Since(start).Seconds()
+			return nil
+		},
+		func() error { // REAPR analytical model.
+			fpgaRate = spatial.REAPR().ClassificationsPerSec(enc.SymbolsPerSample)
+			return nil
+		},
+	}
+	if err := parallel.ForEach(ctx, workers, len(kernels), func(i int) error { return kernels[i]() }); err != nil {
+		return nil, err
+	}
+	mergeRegistries(obs, regs)
+
+	// Native multi-threaded, alone on the machine.
+	start := time.Now()
+	m.PredictBatch(batch, runtime.GOMAXPROCS(0))
+	mtRate := float64(len(batch)) / time.Since(start).Seconds()
+
+	rows := []TableIVRow{
+		{Engine: "Hyperscan (automata, CPU)", KClassPerSec: hsRate / 1e3,
+			HasCache: true, CacheHitRate: dfaStats.HitRate(), CacheEvictRate: dfaStats.EvictionRate()},
+		{Engine: "Scikit-Learn (native, 1 thread)", KClassPerSec: nativeRate / 1e3},
+		{Engine: "Scikit-Learn MT (native)", KClassPerSec: mtRate / 1e3},
+		{Engine: "REAPR FPGA (automata, model)", KClassPerSec: fpgaRate / 1e3},
+	}
+	for i := range rows {
+		rows[i].Relative = rows[i].KClassPerSec / rows[0].KClassPerSec
+	}
+	return rows, nil
+}

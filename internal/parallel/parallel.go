@@ -1,0 +1,133 @@
+// Package parallel is the suite's shared worker-pool layer: bounded
+// fan-out of independent work items across goroutines, used to run
+// partition slices (partition.Plan.RunParallel), benchmark simulations
+// (stats.ObserveSegmentsParallel), and the experiment harnesses
+// (experiments.Table*Parallel) on every core instead of one.
+//
+// The package exists because automata workloads are embarrassingly
+// parallel across connected components — components share no edges, so
+// nothing an engine does for one can affect another — and the same holds
+// one level up for the suite's independent benchmark kernels. All that is
+// needed is a disciplined way to fan out and a deterministic way to merge,
+// which this package and its callers provide.
+//
+// # Determinism contract
+//
+// ForEach and Map guarantee, for every workers value including 1:
+//
+//   - fn is invoked exactly once per index in [0, n) (unless an earlier
+//     item failed or ctx was cancelled, in which case unstarted items are
+//     skipped);
+//   - results land at their own index, so output order never depends on
+//     scheduling;
+//   - the returned error is the one from the lowest-index failed item,
+//     not whichever goroutine lost the race.
+//
+// Item functions run concurrently when workers > 1; they must not share
+// mutable state except through their own index. With workers == 1
+// everything runs inline on the caller's goroutine in index order — the
+// exact sequential behaviour, with no goroutines spawned.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count request: values <= 0 mean "one worker
+// per CPU" (runtime.NumCPU()). Callers expose this as the -j flag default.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines.
+//
+// On failure, no new items are started and the error of the lowest-index
+// failed item is returned; in-flight items finish first. If ctx is
+// cancelled before all items run, unstarted items are skipped and
+// ctx.Err() is returned (an item error still takes precedence). With
+// workers == 1 (or n == 1) items run inline in index order and the first
+// error returns immediately, matching a plain sequential loop.
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next atomic.Int64 // next index to claim
+		stop atomic.Bool  // set on first error or cancellation
+		mu   sync.Mutex
+		errI = -1 // lowest failed index
+		errV error
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if errI == -1 || i < errI {
+			errI, errV = i, err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if errV != nil {
+		return errV
+	}
+	return ctx.Err()
+}
+
+// Map runs fn(i) for every i in [0, n) on up to workers goroutines and
+// returns the results indexed by i. Error and cancellation semantics are
+// those of ForEach; on a non-nil error the returned slice holds the
+// results of the items that did complete (zero values elsewhere).
+func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, err
+}

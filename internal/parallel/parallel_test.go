@@ -1,0 +1,149 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, runtime.NumCPU(), 64} {
+		n := 137
+		visits := make([]atomic.Int32, n)
+		err := ForEach(context.Background(), workers, n, func(i int) error {
+			visits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range visits {
+			if v := visits[i].Load(); v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachSequentialOrder(t *testing.T) {
+	var order []int
+	err := ForEach(context.Background(), 1, 10, func(i int) error {
+		order = append(order, i) // no lock: workers==1 runs inline
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("workers=1 must run in index order, got %v", order)
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), workers, 50, func(i int) error {
+			if i == 7 || i == 30 {
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 7 failed" {
+			t.Fatalf("workers=%d: want lowest-index error, got %v", workers, err)
+		}
+	}
+}
+
+func TestForEachStopsAfterError(t *testing.T) {
+	var ran atomic.Int32
+	_ = ForEach(context.Background(), 2, 10_000, func(i int) error {
+		ran.Add(1)
+		if i < 2 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	// After the error, workers stop claiming; far fewer than all items run.
+	if ran.Load() > 5000 {
+		t.Fatalf("expected early stop, ran %d items", ran.Load())
+	}
+}
+
+func TestForEachContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	errc := make(chan error, 1)
+	go func() {
+		errc <- ForEach(ctx, 2, 1_000_000, func(i int) error {
+			ran.Add(1)
+			time.Sleep(time.Microsecond)
+			return nil
+		})
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	err := <-errc
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if ran.Load() == 1_000_000 {
+		t.Fatal("cancellation did not skip any items")
+	}
+}
+
+func TestForEachEmptyAndCancelledUpfront(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(int) error { return errors.New("x") }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEach(ctx, 1, 5, func(int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestMapIndexesResults(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		out, err := Map(context.Background(), workers, 100, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d]=%d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	out, err := Map(context.Background(), 4, 10, func(i int) (string, error) {
+		if i == 3 {
+			return "", errors.New("nope")
+		}
+		return "ok", nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if len(out) != 10 {
+		t.Fatalf("want full-length slice even on error, got %d", len(out))
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(0) != runtime.NumCPU() || Workers(-3) != runtime.NumCPU() {
+		t.Fatal("non-positive workers must normalize to NumCPU")
+	}
+	if Workers(5) != 5 {
+		t.Fatal("positive workers must pass through")
+	}
+}

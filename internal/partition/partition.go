@@ -9,14 +9,24 @@
 //
 // Partitioning at component granularity is exact: components share no
 // edges, so running them separately cannot change any report.
+//
+// The same independence makes slices the unit of CPU parallelism:
+// Plan.RunParallel fans the slices of a Plan out across a worker pool
+// (internal/parallel) with one NFA engine per slice and merges the report
+// streams deterministically, and ForWorkers builds a plan sized for a
+// worker count rather than a device capacity. RunSequential remains the
+// single-threaded multi-pass reference that RunParallel is tested against.
 package partition
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"automatazoo/internal/automata"
+	"automatazoo/internal/parallel"
 	"automatazoo/internal/sim"
+	"automatazoo/internal/telemetry"
 )
 
 // Slice is one device-load: a set of component indices and its state cost.
@@ -133,17 +143,34 @@ func (p *Plan) Extract(i int) (*automata.Automaton, error) {
 	return b.Build()
 }
 
-// Result aggregates a sequential multi-pass run.
+// Result aggregates a multi-pass run (sequential or parallel).
 type Result struct {
 	Passes  int
 	Symbols int64 // total symbols across all passes
 	Reports int64
+	// Enabled and Active sum the engines' per-pass frontier and activation
+	// counts (see sim.Stats). Components are independent, so these sums
+	// equal a single whole-automaton run's counts, which is how the stats
+	// package derives Table-I dynamic columns from a partitioned run.
+	Enabled       int64
+	Active        int64
+	CounterPulses int64
+}
+
+func (r *Result) add(st sim.Stats) {
+	r.Symbols += st.Symbols
+	r.Reports += st.Reports
+	r.Enabled += st.Enabled
+	r.Active += st.Active
+	r.CounterPulses += st.CounterPulses
 }
 
 // RunSequential executes input once per slice on a fresh NFA engine,
 // invoking onReport (if non-nil) for every report, and returns the
 // aggregate. The union of reports across passes equals a single-pass run
-// of the whole automaton.
+// of the whole automaton; reports are delivered slice-major (all of slice
+// 0's in offset order, then slice 1's, ...). A nil onReport runs the
+// passes report-callback-free, like the engines' nil-guarded hooks.
 func (p *Plan) RunSequential(input []byte, onReport func(sim.Report)) (Result, error) {
 	res := Result{Passes: p.Passes()}
 	for i := range p.Slices {
@@ -152,12 +179,137 @@ func (p *Plan) RunSequential(input []byte, onReport func(sim.Report)) (Result, e
 			return res, err
 		}
 		e := sim.New(sub)
-		e.OnReport = onReport
-		st := e.Run(input)
-		res.Symbols += st.Symbols
-		res.Reports += st.Reports
+		if onReport != nil {
+			e.OnReport = onReport
+		}
+		res.add(e.Run(input))
 	}
 	return res, nil
+}
+
+// RunOptions parameterizes Plan.Run.
+type RunOptions struct {
+	// Workers bounds the goroutines running slices; <= 0 means one per
+	// CPU, 1 runs the slices inline in order.
+	Workers int
+	// OnReport, if non-nil, receives every report after all passes
+	// complete, in the canonical merged order (see RunParallel).
+	OnReport func(sim.Report)
+	// Registry, if non-nil, is attached to every slice engine; sim.*
+	// counters and the frontier histogram accumulate the per-slice work.
+	// Final registry contents are deterministic (counter sums and
+	// histogram totals are order-independent), but note they describe
+	// per-slice engine work: sim.symbols counts Passes() × len(input).
+	Registry *telemetry.Registry
+	// Tracer, if non-nil, is attached to every slice engine. It must be
+	// safe for concurrent use (telemetry.NDJSON is); event interleaving
+	// across slices is scheduling-dependent under Workers > 1.
+	Tracer telemetry.Tracer
+}
+
+// RunParallel executes input once per slice, fanning the slices out over
+// a worker pool with one fresh NFA engine per slice, and returns the same
+// aggregate Result as RunSequential.
+//
+// Determinism contract: for a fixed Plan and input, the onReport callback
+// sequence is identical for every workers value (including 1) and across
+// runs. Reports are buffered per slice and delivered after all passes
+// complete, ordered by input offset, ties broken by slice index and then
+// by emission order within the slice — exactly RunSequential's report
+// stream stably sorted by offset. Result is identical to RunSequential's.
+//
+// ctx cancellation abandons unstarted slices and returns ctx.Err(); no
+// reports are delivered on error.
+func (p *Plan) RunParallel(ctx context.Context, workers int, input []byte, onReport func(sim.Report)) (Result, error) {
+	return p.Run(ctx, input, RunOptions{Workers: workers, OnReport: onReport})
+}
+
+// Run is RunParallel with full options (telemetry attachment). See
+// RunParallel for the determinism contract.
+func (p *Plan) Run(ctx context.Context, input []byte, opts RunOptions) (Result, error) {
+	res := Result{Passes: p.Passes()}
+	stats := make([]sim.Stats, len(p.Slices))
+	var buffered [][]sim.Report
+	if opts.OnReport != nil {
+		buffered = make([][]sim.Report, len(p.Slices))
+	}
+	err := parallel.ForEach(ctx, opts.Workers, len(p.Slices), func(i int) error {
+		sub, err := p.Extract(i)
+		if err != nil {
+			return err
+		}
+		e := sim.New(sub)
+		e.SetRegistry(opts.Registry)
+		e.SetTracer(opts.Tracer)
+		if buffered != nil {
+			e.OnReport = func(r sim.Report) { buffered[i] = append(buffered[i], r) }
+		}
+		stats[i] = e.Run(input)
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, st := range stats {
+		res.add(st)
+	}
+	if buffered != nil {
+		merged := mergeReports(buffered)
+		for _, r := range merged {
+			opts.OnReport(r)
+		}
+	}
+	return res, nil
+}
+
+// mergeReports flattens per-slice report buffers into the canonical order:
+// by offset, ties broken by slice index then within-slice emission order.
+// Concatenating slice-major and stably sorting by offset yields exactly
+// that (each buffer is already offset-ordered).
+func mergeReports(buffered [][]sim.Report) []sim.Report {
+	total := 0
+	for _, b := range buffered {
+		total += len(b)
+	}
+	merged := make([]sim.Report, 0, total)
+	for _, b := range buffered {
+		merged = append(merged, b...)
+	}
+	sort.SliceStable(merged, func(x, y int) bool {
+		return merged[x].Offset < merged[y].Offset
+	})
+	return merged
+}
+
+// ForWorkers partitions a for CPU fan-out rather than for a device: the
+// capacity is chosen so the plan has roughly `workers` slices (somewhat
+// more when component sizes pack unevenly — extra slices simply queue on
+// the worker pool) while never splitting a component, so Partition cannot
+// fail. workers <= 0 means one slice per CPU; workers == 1 yields a
+// single slice.
+func ForWorkers(a *automata.Automaton, workers int) *Plan {
+	workers = parallel.Workers(workers)
+	sizes, _ := a.Components()
+	total, largest := 0, 1
+	for _, sz := range sizes {
+		total += sz
+		if sz > largest {
+			largest = sz
+		}
+	}
+	capacity := (total + workers - 1) / workers
+	if capacity < largest {
+		capacity = largest
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	p, err := Partition(a, capacity)
+	if err != nil {
+		// Unreachable: capacity >= largest component by construction.
+		panic(fmt.Sprintf("partition: ForWorkers: %v", err))
+	}
+	return p
 }
 
 // EffectiveThroughput models the end-to-end symbol throughput of the

@@ -3,13 +3,22 @@
 // subgraph-size distribution), the prefix-merged "compressed" state count,
 // and the dynamic active set measured by simulating the benchmark on its
 // standard input.
+//
+// Simulation comes in two forms with identical results: ObserveSegments
+// runs the whole automaton on one engine, and ObserveSegmentsParallel
+// partitions it across a worker pool (internal/parallel via
+// internal/partition) — components are independent, so the summed
+// activation, frontier, and report counts are exactly those of the
+// single-engine run, and the returned Dynamic is equal field-for-field.
 package stats
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"automatazoo/internal/automata"
+	"automatazoo/internal/partition"
 	"automatazoo/internal/sim"
 	"automatazoo/internal/telemetry"
 	"automatazoo/internal/transform"
@@ -122,6 +131,36 @@ func ObserveSegments(a *automata.Automaton, segments [][]byte, reg *telemetry.Re
 	return dynamicFrom(
 		after[0]-before[0], after[1]-before[1],
 		after[2]-before[2], after[3]-before[3])
+}
+
+// ObserveSegmentsParallel computes the same Dynamic profile as
+// ObserveSegments but executes each segment as a component-partitioned
+// parallel run (partition.ForWorkers + Plan.Run) across up to workers
+// goroutines. The returned Dynamic is identical to the sequential path's
+// for any workers value: Symbols counts stream symbols (not per-slice
+// engine symbols), and the Active/Enabled/Report sums across independent
+// slices equal the whole-automaton run's counts. reg, when non-nil, is
+// shared by every slice engine; its final contents are deterministic for
+// a given workers value but describe per-slice work (sim.symbols
+// accumulates the plan's passes × stream length, and the plan's slice
+// count depends on workers). tr must be safe for concurrent use
+// (telemetry.NDJSON is).
+func ObserveSegmentsParallel(ctx context.Context, a *automata.Automaton, segments [][]byte, workers int, reg *telemetry.Registry, tr telemetry.Tracer) (Dynamic, error) {
+	plan := partition.ForWorkers(a, workers)
+	var streamSymbols, active, enabled, reports int64
+	for _, seg := range segments {
+		res, err := plan.Run(ctx, seg, partition.RunOptions{
+			Workers: workers, Registry: reg, Tracer: tr,
+		})
+		if err != nil {
+			return Dynamic{}, err
+		}
+		streamSymbols += int64(len(seg))
+		active += res.Active
+		enabled += res.Enabled
+		reports += res.Reports
+	}
+	return dynamicFrom(streamSymbols, active, enabled, reports), nil
 }
 
 // simCounters reads the four sim.* counters behind the dynamic columns in

@@ -242,6 +242,68 @@ func (r *Registry) Names() []string {
 	return names
 }
 
+// Merge folds a snapshot into the registry. It is how the parallel
+// experiment harnesses combine per-benchmark registries into one at the
+// end of a fan-out, so the semantics are chosen to be commutative —
+// merging registries A and B into T yields the same T in either order:
+//
+//   - counters add;
+//   - gauges take the maximum of the two values (Set semantics would make
+//     the result depend on merge order);
+//   - histograms add bucket-wise. A histogram unseen by the target is
+//     created with the snapshot's bounds; when bounds differ, each source
+//     bucket's count folds into the first target bucket whose bound is >=
+//     the source bound (overflow otherwise), and sum/count add and max
+//     maxes, so totals and means stay exact even if bucket shapes degrade.
+//
+// Merge is safe for concurrent use, like every Registry method, but
+// deterministic final contents additionally require the inputs themselves
+// to be quiescent.
+func (r *Registry) Merge(s Snapshot) {
+	for name, v := range s.Counters {
+		r.Counter(name).Add(v)
+	}
+	for name, v := range s.Gauges {
+		r.Gauge(name).Max(v)
+	}
+	for name, hs := range s.Histograms {
+		bounds := make([]int64, 0, len(hs.Buckets))
+		for _, b := range hs.Buckets {
+			if b.UpperBound != -1 {
+				bounds = append(bounds, b.UpperBound)
+			}
+		}
+		h := r.Histogram(name, bounds)
+		for _, b := range hs.Buckets {
+			if b.Count == 0 {
+				continue
+			}
+			i := len(h.bounds) // overflow by default
+			if b.UpperBound != -1 {
+				for j, ub := range h.bounds {
+					if ub >= b.UpperBound {
+						i = j
+						break
+					}
+				}
+			}
+			h.counts[i].Add(b.Count)
+		}
+		h.sum.Add(hs.Sum)
+		h.count.Add(hs.Count)
+		h.max.Max(hs.Max)
+	}
+}
+
+// MergeFrom merges another registry's current state (Merge of its
+// Snapshot).
+func (r *Registry) MergeFrom(other *Registry) {
+	if other == nil {
+		return
+	}
+	r.Merge(other.Snapshot())
+}
+
 // PublishExpvar exposes the registry's live snapshot under the given
 // expvar name (served at /debug/vars). Publishing the same name twice
 // panics per expvar semantics, so callers publish once per process.

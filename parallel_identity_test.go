@@ -1,0 +1,133 @@
+// Suite-wide `-j 1` ≡ `-j N` guarantee: for every benchmark and both
+// engines, the output lines `azoo run` prints must be byte-identical at
+// every worker count. The format strings and per-engine accounting below
+// mirror cmdRun in cmd/azoo/main.go exactly — if that output changes,
+// this test must change with it.
+package automatazoo_test
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"automatazoo/internal/automata"
+	"automatazoo/internal/core"
+	"automatazoo/internal/dfa"
+	"automatazoo/internal/parallel"
+	"automatazoo/internal/partition"
+	"automatazoo/internal/stats"
+)
+
+func TestRunOutputByteIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates and scans the full suite at two worker counts")
+	}
+	cfg := core.Config{Scale: 0.01, InputBytes: 30_000, Seed: 0xe1}
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+	for _, bench := range core.All() {
+		bench := bench
+		t.Run(bench.Name, func(t *testing.T) {
+			a, segs, err := bench.Build(cfg)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+
+			seq := stats.ObserveSegments(a, segs, nil, nil)
+			par, err := stats.ObserveSegmentsParallel(context.Background(), a, segs, workers, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s, p := nfaLine(bench.Name, a, seq), nfaLine(bench.Name, a, par); s != p {
+				t.Errorf("nfa output differs:\n -j 1: %q\n -j %d: %q", s, workers, p)
+			}
+
+			// The dfa engine rejects counter automata at any -j, exactly
+			// as Hyperscan skips such rules.
+			if a.NumCounters() > 0 {
+				return
+			}
+			s, err := dfaLines(bench.Name, a, segs, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := dfaLines(bench.Name, a, segs, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s != p {
+				t.Errorf("dfa output differs:\n -j 1: %q\n -j %d: %q", s, workers, p)
+			}
+		})
+	}
+}
+
+// nfaLine formats cmdRun's nfa-engine output line.
+func nfaLine(name string, a *automata.Automaton, dyn stats.Dynamic) string {
+	return fmt.Sprintf("%s: %d states, %d symbols, %d reports (%.6f/sym), active set %.2f\n",
+		name, a.NumStates(), dyn.Symbols, dyn.Reports, dyn.ReportRate, dyn.ActiveSet)
+}
+
+// dfaLines formats cmdRun's dfa-engine output lines, reproducing both
+// its -j 1 path (one whole-automaton engine) and its -j N path
+// (component-partitioned slice engines on the worker pool, statistics
+// summed).
+func dfaLines(name string, a *automata.Automaton, segs [][]byte, workers int) (string, error) {
+	var symbols, reports int64
+	var st dfa.Stats
+	if workers == 1 {
+		e, err := dfa.New(a)
+		if err != nil {
+			return "", err
+		}
+		for _, seg := range segs {
+			e.Reset()
+			s := e.Run(seg)
+			symbols += s.Symbols
+			reports += s.Reports
+		}
+		st = e.Stats()
+	} else {
+		plan := partition.ForWorkers(a, workers)
+		perSlice := make([]dfa.Stats, plan.Passes())
+		sliceReports := make([]int64, plan.Passes())
+		err := parallel.ForEach(context.Background(), workers, plan.Passes(), func(i int) error {
+			sub, err := plan.Extract(i)
+			if err != nil {
+				return err
+			}
+			e, err := dfa.New(sub)
+			if err != nil {
+				return err
+			}
+			for _, seg := range segs {
+				e.Reset() // clears per-run Symbols/Reports; cache counters persist
+				sliceReports[i] += e.Run(seg).Reports
+			}
+			perSlice[i] = e.Stats()
+			return nil
+		})
+		if err != nil {
+			return "", err
+		}
+		for _, seg := range segs {
+			symbols += int64(len(seg))
+		}
+		for i, s := range perSlice {
+			reports += sliceReports[i]
+			st.DFAStates += s.DFAStates
+			st.Fallbacks += s.Fallbacks
+			st.CacheHits += s.CacheHits
+			st.CacheMisses += s.CacheMisses
+			st.CacheEvictions += s.CacheEvictions
+		}
+	}
+	return fmt.Sprintf("%s: %d states, %d symbols, %d reports, %d DFA states, %d fallbacks\n",
+			name, a.NumStates(), symbols, reports, st.DFAStates, st.Fallbacks) +
+		fmt.Sprintf("transition cache: %.2f%% hit rate, %.4f evictions/lookup\n",
+			st.HitRate()*100, st.EvictionRate()),
+		nil
+}
