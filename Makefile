@@ -2,15 +2,27 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race race-parallel allocguard bench bench-engines bench-parallel clean
+# bench-snapshot / benchdiff knobs: label of the artifact to write, the
+# kernel filter, and the two manifests to compare.
+BENCH_LABEL ?= local
+BENCH_KERNELS ?=
+OLD ?=
+NEW ?=
 
-ci: vet build test race-parallel race allocguard
+.PHONY: ci build vet fmt-check test race race-parallel allocguard bench bench-engines bench-parallel bench-snapshot benchdiff clean
+
+ci: vet fmt-check build test race-parallel race allocguard
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# gofmt cleanliness: fail listing any file that gofmt would rewrite.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -45,6 +57,18 @@ bench-parallel:
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Write a BENCH_$(BENCH_LABEL).json run manifest for the current tree —
+# one half of the continuous-benchmarking workflow (EXPERIMENTS.md).
+# BENCH_KERNELS narrows the kernel set: make bench-snapshot BENCH_KERNELS=Snort
+bench-snapshot:
+	$(GO) run ./cmd/azoo bench -label $(BENCH_LABEL) $(if $(BENCH_KERNELS),-kernels "$(BENCH_KERNELS)")
+
+# Compare two manifests and fail on a >5% throughput regression:
+# make benchdiff OLD=BENCH_main.json NEW=BENCH_local.json
+benchdiff:
+	@test -n "$(OLD)" -a -n "$(NEW)" || { echo "usage: make benchdiff OLD=old.json NEW=new.json"; exit 2; }
+	$(GO) run ./cmd/azoo benchdiff $(OLD) $(NEW)
 
 clean:
 	$(GO) clean ./...

@@ -14,6 +14,15 @@
 //	azoo table4 [-samples 4000] [-j N]
 //	azoo fig1   [-filters 10] [-symbols 1000000] [-trials 10]   (also Table V)
 //	azoo snortrates [-scale 0.2] [-input 400000]
+//	azoo bench  [-label ci] [-runs 3] [-kernels "Snort,Brill"] [-j N]
+//	azoo benchdiff old.json new.json [-threshold 5%]
+//	azoo version
+//
+// run and the table commands accept -report <file> to write a run-report
+// manifest (environment provenance, per-kernel rows, phase spans, and the
+// metrics snapshot); bench writes the same manifest as its artifact. See
+// EXPERIMENTS.md ("Continuous benchmarking") for the schema and the
+// bench → benchdiff regression-gate workflow.
 //
 // The -j flag sets the worker count of the parallel execution layer
 // (internal/parallel): -j 1 reproduces the single-threaded behaviour
@@ -36,8 +45,10 @@ import (
 	"automatazoo/internal/mnrl"
 	"automatazoo/internal/parallel"
 	"automatazoo/internal/partition"
+	"automatazoo/internal/report"
 	"automatazoo/internal/spatial"
 	"automatazoo/internal/stats"
+	"automatazoo/internal/telemetry"
 )
 
 func main() {
@@ -72,6 +83,12 @@ func main() {
 		err = cmdExport(args)
 	case "partition":
 		err = cmdPartition(args)
+	case "bench":
+		err = cmdBench(args)
+	case "benchdiff":
+		err = cmdBenchDiff(args)
+	case "version":
+		err = cmdVersion()
 	default:
 		usage()
 		os.Exit(2)
@@ -96,7 +113,10 @@ commands:
   fig1|table5  regenerate Figure 1 and Table V (mesh profiling)
   snortrates   Section-V Snort report-rate experiment
   export       write a benchmark automaton as MNRL JSON or Graphviz dot
-  partition    bin-pack a benchmark onto a capacity-limited device`)
+  partition    bin-pack a benchmark onto a capacity-limited device
+  bench        run a kernel set N times and write a BENCH_<label>.json manifest
+  benchdiff    compare two manifests; non-zero exit on throughput regression
+  version      print the build's version and VCS revision`)
 }
 
 func suiteFlags(fs *flag.FlagSet) (*float64, *int, *uint64) {
@@ -166,10 +186,14 @@ func cmdRun(args []string) error {
 		return err
 	}
 	cfg := core.Config{Scale: *scale, InputBytes: *input, Seed: *seed}
+	bsp := sess.spanSet().Start("build")
 	a, segs, err := b.Build(cfg)
+	bsp.End()
 	if err != nil {
 		return err
 	}
+	row := report.KernelRow{Name: b.Name, States: a.NumStates()}
+	ssp := sess.spanSet().Start("scan")
 	switch *engine {
 	case "nfa":
 		// -j 1 is the exact single-engine path; -j N partitions the
@@ -184,6 +208,9 @@ func cmdRun(args []string) error {
 				return err
 			}
 		}
+		ssp.End()
+		row.Symbols, row.Reports = dyn.Symbols, dyn.Reports
+		row.Extra = map[string]float64{"active_set": dyn.ActiveSet, "report_rate": dyn.ReportRate}
 		fmt.Printf("%s: %d states, %d symbols, %d reports (%.6f/sym), active set %.2f\n",
 			b.Name, a.NumStates(), dyn.Symbols, dyn.Reports,
 			dyn.ReportRate, dyn.ActiveSet)
@@ -198,6 +225,9 @@ func cmdRun(args []string) error {
 		if err != nil {
 			return err
 		}
+		ssp.End()
+		row.Symbols, row.Reports = symbols, reports
+		row.HasCache, row.CacheHitRate, row.CacheEvictRate = true, st.HitRate(), st.EvictionRate()
 		fmt.Printf("%s: %d states, %d symbols, %d reports, %d DFA states, %d fallbacks\n",
 			b.Name, a.NumStates(), symbols, reports, st.DFAStates, st.Fallbacks)
 		fmt.Printf("transition cache: %.2f%% hit rate, %.4f evictions/lookup\n",
@@ -205,7 +235,17 @@ func cmdRun(args []string) error {
 	default:
 		return fmt.Errorf("unknown engine %q", *engine)
 	}
+	sess.setReport("run", *workers, suiteConfig(*scale, *input, *seed), []report.KernelRow{row})
 	return sess.Close()
+}
+
+// suiteConfig stringifies the shared suite flags for a report manifest.
+func suiteConfig(scale float64, input int, seed uint64) map[string]string {
+	return map[string]string{
+		"scale":       fmt.Sprintf("%g", scale),
+		"input_bytes": fmt.Sprintf("%d", input),
+		"seed":        fmt.Sprintf("%#x", seed),
+	}
 }
 
 // runDFAWhole scans every segment on one whole-automaton DFA engine (the
@@ -217,6 +257,7 @@ func runDFAWhole(a *automata.Automaton, segs [][]byte, sess *obsSession) (symbol
 	}
 	e.SetRegistry(sess.registry())
 	e.SetTracer(sess.ndjson())
+	e.SetSpans(sess.spanSet())
 	for _, seg := range segs {
 		e.Reset()
 		s := e.Run(seg)
@@ -237,6 +278,15 @@ func runDFAParallel(a *automata.Automaton, segs [][]byte, workers int, sess *obs
 	plan := partition.ForWorkers(a, workers)
 	perSlice := make([]dfa.Stats, plan.Passes())
 	sliceReports := make([]int64, plan.Passes())
+	// Each slice's engine spans go to a fork adopted in slice-index order,
+	// so the manifest's span tree is deterministic at any worker count.
+	var sliceSpans []*telemetry.Spans
+	if ss := sess.spanSet(); ss != nil {
+		sliceSpans = make([]*telemetry.Spans, plan.Passes())
+		for i := range sliceSpans {
+			sliceSpans[i] = ss.Fork()
+		}
+	}
 	err = parallel.ForEach(context.Background(), workers, plan.Passes(), func(i int) error {
 		sub, err := plan.Extract(i)
 		if err != nil {
@@ -248,6 +298,9 @@ func runDFAParallel(a *automata.Automaton, segs [][]byte, workers int, sess *obs
 		}
 		e.SetRegistry(sess.registry())
 		e.SetTracer(sess.ndjson())
+		if sliceSpans != nil {
+			e.SetSpans(sliceSpans[i])
+		}
 		for _, seg := range segs {
 			e.Reset() // clears per-run Symbols/Reports; cache counters persist
 			sliceReports[i] += e.Run(seg).Reports
@@ -257,6 +310,9 @@ func runDFAParallel(a *automata.Automaton, segs [][]byte, workers int, sess *obs
 	})
 	if err != nil {
 		return 0, 0, dfa.Stats{}, err
+	}
+	for i := range sliceSpans {
+		sess.spanSet().Adopt(sliceSpans[i])
 	}
 	for _, seg := range segs {
 		symbols += int64(len(seg)) // stream symbols, not per-slice engine work
@@ -294,6 +350,18 @@ func cmdTable1(args []string) error {
 	for _, r := range rows {
 		fmt.Println(r.Format())
 	}
+	krows := make([]report.KernelRow, len(rows))
+	for i, r := range rows {
+		krows[i] = report.KernelRow{
+			Name: r.Name, States: r.States, Symbols: r.Symbols, Reports: r.Reports,
+			Extra: map[string]float64{
+				"active_set":  r.ActiveSet,
+				"report_rate": r.ReportRate,
+				"subgraphs":   float64(r.Subgraphs),
+			},
+		}
+	}
+	sess.setReport("table1", *workers, suiteConfig(*scale, *input, *seed), krows)
 	return sess.Close()
 }
 
@@ -312,15 +380,25 @@ func cmdTable2(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer sess.Close()
 	fmt.Println("Table II: Random Forest benchmark variant trade-offs")
 	fmt.Printf("%-8s %9s %11s %9s %9s %8s\n",
 		"Variant", "Features", "Max Leaves", "States", "Accuracy", "Runtime")
-	for _, r := range rows {
+	krows := make([]report.KernelRow, len(rows))
+	for i, r := range rows {
 		fmt.Printf("%-8s %9d %11d %9d %8.2f%% %7.2fx\n",
 			r.Variant, r.Features, r.MaxLeaves, r.States, r.Accuracy*100, r.RuntimeRel)
+		krows[i] = report.KernelRow{
+			Name: "rf." + r.Variant, States: r.States,
+			Extra: map[string]float64{
+				"accuracy":           r.Accuracy,
+				"symbols_per_sample": float64(r.SymbolsPer),
+				"runtime_rel":        r.RuntimeRel,
+			},
+		}
 	}
-	return nil
+	sess.setReport("table2", *workers,
+		map[string]string{"samples": fmt.Sprintf("%d", *samples), "seed": fmt.Sprintf("%#x", *seed)}, krows)
+	return sess.Close()
 }
 
 func cmdTable3(args []string) error {
@@ -342,7 +420,8 @@ func cmdTable3(args []string) error {
 	fmt.Println("Table III: impact of AP-specific padding on CPU engines")
 	fmt.Printf("%-28s %10s %12s %10s %9s %9s\n",
 		"CPU Engine", "6 Wide", "6 Wide Pad", "Overhead", "CacheHit", "Evict/Lk")
-	for _, r := range rows {
+	krows := make([]report.KernelRow, len(rows))
+	for i, r := range rows {
 		hit, evict := "-", "-"
 		if r.HasCache {
 			hit = fmt.Sprintf("%.2f%%", r.CacheHitRate*100)
@@ -350,7 +429,20 @@ func cmdTable3(args []string) error {
 		}
 		fmt.Printf("%-28s %9.3fs %11.3fs %9.1f%% %9s %9s\n",
 			r.Engine, r.PlainSec, r.PaddedSec, r.OverheadPct, hit, evict)
+		krows[i] = report.KernelRow{
+			Name: r.Engine, HasCache: r.HasCache,
+			CacheHitRate: r.CacheHitRate, CacheEvictRate: r.CacheEvictRate,
+			Extra: map[string]float64{
+				"plain_sec":    r.PlainSec,
+				"padded_sec":   r.PaddedSec,
+				"overhead_pct": r.OverheadPct,
+			},
+		}
 	}
+	sess.setReport("table3", *workers, map[string]string{
+		"filters": fmt.Sprintf("%d", *filters), "itemsets": fmt.Sprintf("%d", *itemsets),
+		"seed": fmt.Sprintf("%#x", *seed),
+	}, krows)
 	return sess.Close()
 }
 
@@ -371,14 +463,23 @@ func cmdTable4(args []string) error {
 	}
 	fmt.Println("Table IV: Random Forest classification throughput")
 	fmt.Printf("%-34s %16s %10s %9s %9s\n", "Engine", "kClass/sec", "Relative", "CacheHit", "Evict/Lk")
-	for _, r := range rows {
+	krows := make([]report.KernelRow, len(rows))
+	for i, r := range rows {
 		hit, evict := "-", "-"
 		if r.HasCache {
 			hit = fmt.Sprintf("%.2f%%", r.CacheHitRate*100)
 			evict = fmt.Sprintf("%.4f", r.CacheEvictRate)
 		}
 		fmt.Printf("%-34s %16.1f %9.1fx %9s %9s\n", r.Engine, r.KClassPerSec, r.Relative, hit, evict)
+		tp := report.AggregateOf([]float64{r.KClassPerSec})
+		krows[i] = report.KernelRow{
+			Name: r.Engine, Unit: "kClass/s", Throughput: &tp,
+			HasCache: r.HasCache, CacheHitRate: r.CacheHitRate, CacheEvictRate: r.CacheEvictRate,
+			Extra: map[string]float64{"relative": r.Relative},
+		}
 	}
+	sess.setReport("table4", *workers,
+		map[string]string{"samples": fmt.Sprintf("%d", *samples), "seed": fmt.Sprintf("%#x", *seed)}, krows)
 	return sess.Close()
 }
 

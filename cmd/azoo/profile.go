@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"automatazoo/internal/core"
 	"automatazoo/internal/sim"
@@ -86,9 +87,15 @@ func cmdProfile(args []string) error {
 	prof := e.EnableProfile()
 	e.SetRegistry(sess.reg)
 	e.SetTracer(sess.ndjson())
+	// Per-segment scan latency feeds a histogram so the profile can report
+	// tail quantiles, not just totals — segments are this workload's unit
+	// of work (packets, classifications, reads).
+	lat := sess.reg.Histogram("profile.segment_nanos", telemetry.ExpBuckets(1<<10, 40))
 	for _, seg := range segs {
 		e.Reset()
+		start := time.Now()
 		e.Run(seg)
+		lat.Observe(time.Since(start).Nanoseconds())
 	}
 	dyn := stats.DynamicFromRegistry(sess.reg)
 	_, comp := a.Components()
@@ -97,7 +104,11 @@ func cmdProfile(args []string) error {
 	fmt.Printf("symbols %d, reports %d (%.6f/sym), active set %.2f, enabled set %.2f\n",
 		dyn.Symbols, dyn.Reports, dyn.ReportRate, dyn.ActiveSet, dyn.EnabledSet)
 	h := sess.reg.Histogram("sim.frontier", nil)
-	fmt.Printf("enabled frontier: mean %.2f, max %d\n\n", h.Mean(), h.Max())
+	fmt.Printf("enabled frontier: mean %.2f, max %d (p50 %.0f, p90 %.0f, p99 %.0f)\n",
+		h.Mean(), h.Max(), h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99))
+	fmt.Printf("segment latency: p50 %s, p90 %s, p99 %s, max %s (%d segments)\n\n",
+		nanosStr(lat.Quantile(0.50)), nanosStr(lat.Quantile(0.90)),
+		nanosStr(lat.Quantile(0.99)), nanosStr(float64(lat.Max())), lat.Count())
 
 	fmt.Printf("Top %d states by activations:\n", *topK)
 	if err := telemetry.WriteHeatmap(os.Stdout, prof.TopK(*topK, comp), dyn.Symbols); err != nil {
@@ -110,6 +121,11 @@ func cmdProfile(args []string) error {
 		}
 	}
 	return sess.Close()
+}
+
+// nanosStr renders a nanosecond quantity with a human-scale unit.
+func nanosStr(ns float64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
 }
 
 func countSubgraphs(comp []int32) int {

@@ -8,18 +8,21 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"time"
 
 	"automatazoo/internal/experiments"
+	"automatazoo/internal/report"
 	"automatazoo/internal/telemetry"
 )
 
 // telFlags is the observability flag set shared by run, profile, and the
-// table commands: -trace, -trace-sample, -metrics, -debug-addr.
+// table commands: -trace, -trace-sample, -metrics, -debug-addr, -report.
 type telFlags struct {
 	trace   *string
 	sample  *int64
 	metrics *string
 	debug   *string
+	report  *string
 }
 
 func telemetryFlags(fs *flag.FlagSet) *telFlags {
@@ -28,25 +31,37 @@ func telemetryFlags(fs *flag.FlagSet) *telFlags {
 		sample:  fs.Int64("trace-sample", 1, "record symbol/activate trace events only for offsets divisible by N (reports and cache events are always recorded)"),
 		metrics: fs.String("metrics", "", "write a metrics-registry JSON snapshot to this file on completion"),
 		debug:   fs.String("debug-addr", "", "serve net/http/pprof and expvar (live metrics at /debug/vars) on this address, e.g. localhost:6060"),
+		report:  fs.String("report", "", "write a run-report manifest (JSON: environment, kernel rows, phase spans, metrics) to this file"),
 	}
 }
 
-// obsSession is one command's activated telemetry: the registry and trace
-// sink built from the flags. Close writes the metrics snapshot and
-// flushes the trace.
+// obsSession is one command's activated telemetry: the registry, trace
+// sink, and phase-span collector built from the flags. Close writes the
+// metrics snapshot and the run-report manifest and flushes the trace.
 type obsSession struct {
 	reg         *telemetry.Registry
 	tracer      *telemetry.NDJSON
+	spans       *telemetry.Spans
 	metricsPath string
+	reportPath  string
+
+	// Manifest contents accumulated by the command via setReport.
+	command string
+	workers int
+	suite   map[string]string
+	rows    []report.KernelRow
 }
 
 // session materializes the flags. The registry exists whenever any
 // telemetry output is requested (the trace alone still benefits from
 // counters at /debug/vars); everything nil means fully disabled.
 func (tf *telFlags) session() (*obsSession, error) {
-	s := &obsSession{metricsPath: *tf.metrics}
-	if *tf.metrics != "" || *tf.debug != "" || *tf.trace != "" {
+	s := &obsSession{metricsPath: *tf.metrics, reportPath: *tf.report}
+	if *tf.metrics != "" || *tf.debug != "" || *tf.trace != "" || *tf.report != "" {
 		s.reg = telemetry.NewRegistry()
+	}
+	if *tf.report != "" {
+		s.spans = telemetry.NewSpans()
 	}
 	if *tf.trace != "" {
 		f, err := os.Create(*tf.trace)
@@ -66,14 +81,32 @@ func (tf *telFlags) session() (*obsSession, error) {
 
 // observer adapts the session for the experiments package.
 func (s *obsSession) observer() *experiments.Observer {
-	if s == nil || (s.reg == nil && s.tracer == nil) {
+	if s == nil || (s.reg == nil && s.tracer == nil && s.spans == nil) {
 		return nil
 	}
-	o := &experiments.Observer{Registry: s.reg}
+	o := &experiments.Observer{Registry: s.reg, Spans: s.spans}
 	if s.tracer != nil {
 		o.Tracer = s.tracer
 	}
 	return o
+}
+
+// spanSet returns the session's phase-span collector (nil unless -report
+// was given; all span methods are nil-safe no-ops).
+func (s *obsSession) spanSet() *telemetry.Spans {
+	if s == nil {
+		return nil
+	}
+	return s.spans
+}
+
+// setReport records the manifest contents for Close: the command name,
+// worker count, stringified configuration, and per-kernel rows.
+func (s *obsSession) setReport(command string, workers int, suite map[string]string, rows []report.KernelRow) {
+	if s == nil {
+		return
+	}
+	s.command, s.workers, s.suite, s.rows = command, workers, suite, rows
 }
 
 // registry returns the session registry (nil when telemetry is off).
@@ -93,7 +126,8 @@ func (s *obsSession) ndjson() telemetry.Tracer {
 	return s.tracer
 }
 
-// Close flushes the trace and writes the metrics snapshot.
+// Close flushes the trace and writes the metrics snapshot and the
+// run-report manifest.
 func (s *obsSession) Close() error {
 	if s == nil {
 		return nil
@@ -115,6 +149,25 @@ func (s *obsSession) Close() error {
 			}
 		}
 		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.reportPath != "" {
+		m := &report.Manifest{
+			SchemaVersion: report.SchemaVersion,
+			Label:         s.command,
+			Command:       s.command,
+			Timestamp:     time.Now().UTC().Format(time.RFC3339),
+			Env:           report.CaptureEnv(s.workers),
+			Suite:         s.suite,
+			Kernels:       s.rows,
+			Spans:         s.spans.Snapshot(),
+		}
+		if s.reg != nil {
+			snap := s.reg.Snapshot()
+			m.Metrics = &snap
+		}
+		if err := m.WriteFile(s.reportPath); err != nil && first == nil {
 			first = err
 		}
 	}

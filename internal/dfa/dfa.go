@@ -146,6 +146,7 @@ type Engine struct {
 	tracer    telemetry.Tracer
 	reg       *telemetry.Registry
 	published Stats // portion of stats already flushed to reg
+	spans     *telemetry.Spans
 }
 
 // Options tune the engine's internal strategies; the zero value is the
@@ -345,6 +346,11 @@ func containsSorted(xs []automata.StateID, v automata.StateID) bool {
 // Stats but not traced (one per live component per byte).
 func (e *Engine) SetTracer(t telemetry.Tracer) { e.tracer = t }
 
+// SetSpans attaches a phase-span collector (nil detaches): every Run call
+// is timed as one aggregated "dfa.run" span, opened outside the per-byte
+// loop so the disabled path stays a nil-receiver no-op.
+func (e *Engine) SetSpans(s *telemetry.Spans) { e.spans = s }
+
 // SetRegistry attaches a metrics registry (nil detaches). Aggregate run
 // statistics flush to the dfa.* counters and gauges at the end of every
 // Run and on Reset.
@@ -429,12 +435,14 @@ func (e *Engine) emit(code int32) {
 // Run consumes input, advancing every component DFA one transition per
 // byte. It may be called repeatedly to continue the same stream.
 func (e *Engine) Run(input []byte) Stats {
+	sp := e.spans.Start("dfa.run")
 	for _, b := range input {
 		e.stepByte(b)
 	}
 	if e.reg != nil {
 		e.flushStats()
 	}
+	sp.End()
 	return e.Stats()
 }
 

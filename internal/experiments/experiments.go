@@ -22,11 +22,14 @@ import (
 )
 
 // Observer carries optional telemetry sinks through an experiment: a
-// metrics registry the engines publish into and a tracer receiving
-// execution events. The zero value (and a nil *Observer) disables both.
+// metrics registry the engines publish into, a tracer receiving execution
+// events, and a phase-span collector recording each kernel's
+// build/simulate/compress (etc.) wall-clock breakdown. The zero value
+// (and a nil *Observer) disables all three.
 type Observer struct {
 	Registry *telemetry.Registry
 	Tracer   telemetry.Tracer
+	Spans    *telemetry.Spans
 }
 
 func (o *Observer) registry() *telemetry.Registry {
@@ -41,6 +44,13 @@ func (o *Observer) tracer() telemetry.Tracer {
 		return nil
 	}
 	return o.Tracer
+}
+
+func (o *Observer) spans() *telemetry.Spans {
+	if o == nil {
+		return nil
+	}
+	return o.Spans
 }
 
 // TableI generates every suite benchmark at cfg's scale, computes its

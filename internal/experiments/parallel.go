@@ -63,6 +63,45 @@ func mergeRegistries(obs *Observer, regs []*telemetry.Registry) {
 	}
 }
 
+// localSpans allocates one span fork per kernel when obs carries a span
+// collector (nil otherwise): concurrent kernels record phase spans
+// without contention, and adoptSpans folds them back in index order so
+// the final span tree is deterministic regardless of completion order.
+func localSpans(obs *Observer, n int) []*telemetry.Spans {
+	shared := obs.spans()
+	if shared == nil {
+		return make([]*telemetry.Spans, n)
+	}
+	forks := make([]*telemetry.Spans, n)
+	for i := range forks {
+		forks[i] = shared.Fork()
+	}
+	return forks
+}
+
+// adoptSpans folds the per-kernel span forks into obs.Spans in index
+// order.
+func adoptSpans(obs *Observer, forks []*telemetry.Spans) {
+	shared := obs.spans()
+	if shared == nil {
+		return
+	}
+	for _, f := range forks {
+		shared.Adopt(f)
+	}
+}
+
+// perSecond returns n/elapsed events per second, clamping elapsed to one
+// microsecond: on coarse clocks (or trivially small inputs) time.Since
+// can return zero, and the naive division would put +Inf — or NaN at
+// n == 0 — into a throughput row and any report artifact derived from it.
+func perSecond(n int, elapsed time.Duration) float64 {
+	if elapsed < time.Microsecond {
+		elapsed = time.Microsecond
+	}
+	return float64(n) / elapsed.Seconds()
+}
+
 // TableIParallel regenerates Table I with up to workers benchmarks
 // generated, simulated, and (optionally) compressed concurrently. Rows
 // are returned in Table I order regardless of completion order.
@@ -70,13 +109,18 @@ func TableIParallel(ctx context.Context, cfg core.Config, compress bool, workers
 	benches := core.All()
 	rows := make([]stats.Row, len(benches))
 	regs := localRegistries(obs, len(benches))
+	forks := localSpans(obs, len(benches))
 	tr := obs.tracer()
 	err := parallel.ForEach(ctx, workers, len(benches), func(i int) error {
 		b := benches[i]
+		ksp := forks[i].Start(b.Name)
+		bsp := ksp.Start("build")
 		a, segs, err := b.Build(cfg)
+		bsp.End()
 		if err != nil {
 			return fmt.Errorf("%s: %w", b.Name, err)
 		}
+		ssp := ksp.Start("simulate")
 		row := stats.Row{
 			Name:    b.Name,
 			Domain:  b.Domain,
@@ -84,16 +128,21 @@ func TableIParallel(ctx context.Context, cfg core.Config, compress bool, workers
 			Static:  stats.Compute(a),
 			Dynamic: stats.ObserveSegments(a, segs, regs[i], tr),
 		}
+		ssp.End()
 		if compress {
+			csp := ksp.Start("compress")
 			row.Compression = stats.Compress(a)
+			csp.End()
 		}
 		rows[i] = row
+		ksp.End()
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	mergeRegistries(obs, regs)
+	adoptSpans(obs, forks)
 	return rows, nil
 }
 
@@ -105,13 +154,20 @@ func TableIIParallel(ctx context.Context, samples int, seed uint64, workers int,
 	train, test := ds.Split(0.8)
 	variants := []rf.Variant{rf.VariantA, rf.VariantB, rf.VariantC}
 	regs := localRegistries(obs, len(variants))
+	forks := localSpans(obs, len(variants))
 	rows, err := parallel.Map(ctx, workers, len(variants), func(i int) (TableIIRow, error) {
 		v := variants[i]
+		ksp := forks[i].Start("rf." + v.Name)
+		defer ksp.End()
+		tsp := ksp.Start("train")
 		m, err := rf.Train(train, v, seed)
+		tsp.End()
 		if err != nil {
 			return TableIIRow{}, err
 		}
+		bsp := ksp.Start("build")
 		a, enc, err := m.BuildAutomaton()
+		bsp.End()
 		if err != nil {
 			return TableIIRow{}, err
 		}
@@ -132,6 +188,7 @@ func TableIIParallel(ctx context.Context, samples int, seed uint64, workers int,
 		return nil, err
 	}
 	mergeRegistries(obs, regs)
+	adoptSpans(obs, forks)
 	var baseSymbols int
 	for _, r := range rows {
 		if r.Variant == "B" {
@@ -156,13 +213,18 @@ func TableIIIParallel(ctx context.Context, filters, inputItemsets int, seed uint
 		pats[i] = spm.RandomPattern(rng, 6)
 	}
 	// The two automaton builds are themselves independent work items.
+	buildForks := localSpans(obs, 2)
 	built, err := parallel.Map(ctx, workers, 2, func(i int) (*automata.Automaton, error) {
+		name := "build.plain"
 		pad := 0
 		if i == 1 {
-			pad = 4
+			name, pad = "build.padded", 4
 		}
+		bsp := buildForks[i].Start(name)
+		defer bsp.End()
 		return spm.Benchmark(filters, 6, spm.Config{Padding: pad}, seed)
 	})
+	adoptSpans(obs, buildForks)
 	if err != nil {
 		return nil, err
 	}
@@ -215,7 +277,11 @@ func TableIIIParallel(ctx context.Context, filters, inputItemsets int, seed uint
 	secs := make([]float64, 4)
 	dfaStats := make([]dfa.Stats, 4)
 	autos := []*automata.Automaton{plain, padded, plain, padded}
+	names := []string{"nfa.plain", "nfa.padded", "dfa.plain", "dfa.padded"}
+	forks := localSpans(obs, 4)
 	err = parallel.ForEach(ctx, workers, 4, func(i int) error {
+		ksp := forks[i].Start(names[i])
+		defer ksp.End()
 		if i < 2 {
 			secs[i] = timeNFA(autos[i], regs[i])
 			return nil
@@ -231,13 +297,21 @@ func TableIIIParallel(ctx context.Context, filters, inputItemsets int, seed uint
 		return nil, err
 	}
 	mergeRegistries(obs, regs)
+	adoptSpans(obs, forks)
 	var cacheTotal dfa.Stats
 	for _, st := range dfaStats {
 		cacheTotal.CacheHits += st.CacheHits
 		cacheTotal.CacheMisses += st.CacheMisses
 		cacheTotal.CacheEvictions += st.CacheEvictions
 	}
-	pct := func(plain, padded float64) float64 { return (padded - plain) / plain * 100 }
+	// Overhead is undefined when the plain run measured no time at all
+	// (possible on very coarse clocks); report 0 rather than ±Inf/NaN.
+	pct := func(plain, padded float64) float64 {
+		if plain <= 0 {
+			return 0
+		}
+		return (padded - plain) / plain * 100
+	}
 	return []TableIIIRow{
 		{Engine: "VASim (NFA interpreter)", PlainSec: secs[0], PaddedSec: secs[1], OverheadPct: pct(secs[0], secs[1])},
 		{Engine: "Hyperscan (lazy DFA)", PlainSec: secs[2], PaddedSec: secs[3], OverheadPct: pct(secs[2], secs[3]),
@@ -272,16 +346,21 @@ func TableIVParallel(ctx context.Context, samples int, seed uint64, workers int,
 	var hsRate, nativeRate, fpgaRate float64
 	var dfaStats dfa.Stats
 	regs := localRegistries(obs, 3)
+	forks := localSpans(obs, 3)
 	tr := obs.tracer()
 	kernels := []func() error{
 		func() error { // Hyperscan proxy: per-sample DFA scan.
+			ksp := forks[0].Start("hyperscan")
+			defer ksp.End()
 			hsN := min(2000, len(batch))
 			encoded := make([][]byte, hsN)
 			qbuf := make([]uint8, m.FM.NumSelected())
+			esp := ksp.Start("encode")
 			for i := 0; i < hsN; i++ {
 				m.FM.QuantizeInto(batch[i].Pixels, qbuf)
 				encoded[i] = enc.Encode(qbuf)
 			}
+			esp.End()
 			de, err := dfa.New(a)
 			if err != nil {
 				return err
@@ -292,26 +371,32 @@ func TableIVParallel(ctx context.Context, samples int, seed uint64, workers int,
 				de.Reset()
 				de.Run(s)
 			}
+			ssp := ksp.Start("scan")
 			start := time.Now()
 			for _, s := range encoded {
 				de.Reset()
 				de.Run(s)
 			}
-			hsRate = float64(hsN) / time.Since(start).Seconds()
+			hsRate = perSecond(hsN, time.Since(start))
+			ssp.End()
 			dfaStats = de.Stats()
 			return nil
 		},
 		func() error { // Native single-threaded, from raw pixels.
+			ksp := forks[1].Start("native")
+			defer ksp.End()
 			qbuf := make([]uint8, m.FM.NumSelected())
 			start := time.Now()
 			for i := range batch {
 				m.FM.QuantizeInto(batch[i].Pixels, qbuf)
 				m.PredictQuantized(qbuf)
 			}
-			nativeRate = float64(len(batch)) / time.Since(start).Seconds()
+			nativeRate = perSecond(len(batch), time.Since(start))
 			return nil
 		},
 		func() error { // REAPR analytical model.
+			ksp := forks[2].Start("reapr")
+			defer ksp.End()
 			fpgaRate = spatial.REAPR().ClassificationsPerSec(enc.SymbolsPerSample)
 			return nil
 		},
@@ -320,11 +405,15 @@ func TableIVParallel(ctx context.Context, samples int, seed uint64, workers int,
 		return nil, err
 	}
 	mergeRegistries(obs, regs)
+	adoptSpans(obs, forks)
 
-	// Native multi-threaded, alone on the machine.
+	// Native multi-threaded, alone on the machine (recorded straight into
+	// obs.Spans: the pool has drained, so there is no contention to avoid).
+	msp := obs.spans().Start("native_mt")
 	start := time.Now()
 	m.PredictBatch(batch, runtime.GOMAXPROCS(0))
-	mtRate := float64(len(batch)) / time.Since(start).Seconds()
+	mtRate := perSecond(len(batch), time.Since(start))
+	msp.End()
 
 	rows := []TableIVRow{
 		{Engine: "Hyperscan (automata, CPU)", KClassPerSec: hsRate / 1e3,
@@ -334,7 +423,9 @@ func TableIVParallel(ctx context.Context, samples int, seed uint64, workers int,
 		{Engine: "REAPR FPGA (automata, model)", KClassPerSec: fpgaRate / 1e3},
 	}
 	for i := range rows {
-		rows[i].Relative = rows[i].KClassPerSec / rows[0].KClassPerSec
+		if rows[0].KClassPerSec > 0 {
+			rows[i].Relative = rows[i].KClassPerSec / rows[0].KClassPerSec
+		}
 	}
 	return rows, nil
 }

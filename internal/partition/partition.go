@@ -205,6 +205,12 @@ type RunOptions struct {
 	// safe for concurrent use (telemetry.NDJSON is); event interleaving
 	// across slices is scheduling-dependent under Workers > 1.
 	Tracer telemetry.Tracer
+	// Spans, if non-nil, receives a "partition.run" phase span whose
+	// children time slice extraction ("extract"), slice scanning ("scan"),
+	// and report merging ("merge"). Per-slice timings aggregate into those
+	// three nodes (each worker records into a fork adopted in slice-index
+	// order), so the span tree is deterministic at any worker count.
+	Spans *telemetry.Spans
 }
 
 // RunParallel executes input once per slice, fanning the slices out over
@@ -233,8 +239,25 @@ func (p *Plan) Run(ctx context.Context, input []byte, opts RunOptions) (Result, 
 	if opts.OnReport != nil {
 		buffered = make([][]sim.Report, len(p.Slices))
 	}
+	// Phase spans: each worker records into its own fork; forks are
+	// adopted in slice-index order after the barrier, so the merged
+	// extract/scan aggregates are deterministic at any worker count.
+	root := opts.Spans.Start("partition.run")
+	var sliceSpans []*telemetry.Spans
+	if opts.Spans != nil {
+		sliceSpans = make([]*telemetry.Spans, len(p.Slices))
+		for i := range sliceSpans {
+			sliceSpans[i] = opts.Spans.Fork()
+		}
+	}
 	err := parallel.ForEach(ctx, opts.Workers, len(p.Slices), func(i int) error {
+		var ss *telemetry.Spans
+		if sliceSpans != nil {
+			ss = sliceSpans[i]
+		}
+		esp := ss.Start("extract")
 		sub, err := p.Extract(i)
+		esp.End()
 		if err != nil {
 			return err
 		}
@@ -244,21 +267,30 @@ func (p *Plan) Run(ctx context.Context, input []byte, opts RunOptions) (Result, 
 		if buffered != nil {
 			e.OnReport = func(r sim.Report) { buffered[i] = append(buffered[i], r) }
 		}
+		rsp := ss.Start("scan")
 		stats[i] = e.Run(input)
+		rsp.End()
 		return nil
 	})
 	if err != nil {
+		root.End()
 		return res, err
+	}
+	for i := range sliceSpans {
+		root.Adopt(sliceSpans[i])
 	}
 	for _, st := range stats {
 		res.add(st)
 	}
 	if buffered != nil {
+		msp := root.Start("merge")
 		merged := mergeReports(buffered)
+		msp.End()
 		for _, r := range merged {
 			opts.OnReport(r)
 		}
 	}
+	root.End()
 	return res, nil
 }
 

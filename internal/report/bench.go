@@ -1,0 +1,229 @@
+package report
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"automatazoo/internal/core"
+	"automatazoo/internal/partition"
+	"automatazoo/internal/sim"
+	"automatazoo/internal/telemetry"
+)
+
+// BenchOptions configures one Bench invocation.
+type BenchOptions struct {
+	// Label names the artifact (BENCH_<label>.json).
+	Label string
+	// Runs is the number of timed repetitions per kernel (default 3).
+	Runs int
+	// Kernels filters the suite by case-insensitive exact name or
+	// substring; empty runs every benchmark. A filter matching nothing is
+	// an error (a silently empty report would read as "all green").
+	Kernels []string
+	// Config is the suite generation configuration.
+	Config core.Config
+	// Workers > 1 scans each kernel as a component-partitioned parallel
+	// run; 1 (the default) uses the exact sequential engine, the right
+	// choice when absolute numbers matter.
+	Workers int
+	// Timestamp is the caller-supplied provenance stamp recorded in the
+	// manifest (RFC3339, UTC recommended). Caller-supplied so artifacts
+	// can be byte-reproducible.
+	Timestamp time.Time
+	// Clock supplies nanosecond timestamps for all span and throughput
+	// timing; nil uses the real clock. Injectable for golden tests.
+	Clock func() int64
+	// Env overrides the captured environment (tests); nil captures the
+	// process environment.
+	Env *Environment
+}
+
+// Bench runs the selected kernel set Runs times each and assembles the
+// run manifest: per-kernel min/mean/max throughput, a build/scan phase
+// span tree (one root span per kernel), and the merged telemetry
+// snapshot. Kernels run sequentially — concurrent kernels would contend
+// for the machine and corrupt each other's timings; Workers parallelism
+// applies inside a kernel's scan.
+func Bench(opts BenchOptions) (*Manifest, error) {
+	if opts.Runs <= 0 {
+		opts.Runs = 3
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	benches, err := selectKernels(core.All(), opts.Kernels)
+	if err != nil {
+		return nil, err
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = func() int64 { return time.Now().UnixNano() }
+	}
+	spans := telemetry.NewSpans()
+	spans.SetClock(clock)
+	reg := telemetry.NewRegistry()
+
+	rows := make([]KernelRow, 0, len(benches))
+	for _, b := range benches {
+		row, err := benchKernel(b, opts, spans, reg, clock)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+		}
+		rows = append(rows, row)
+	}
+
+	env := CaptureEnv(opts.Workers)
+	if opts.Env != nil {
+		env = *opts.Env
+	}
+	snap := reg.Snapshot()
+	return &Manifest{
+		SchemaVersion: SchemaVersion,
+		Label:         opts.Label,
+		Command:       "bench",
+		Timestamp:     opts.Timestamp.Format(time.RFC3339),
+		Env:           env,
+		Suite: map[string]string{
+			"scale":       fmt.Sprintf("%g", opts.Config.Scale),
+			"input_bytes": fmt.Sprintf("%d", opts.Config.InputBytes),
+			"seed":        fmt.Sprintf("%#x", opts.Config.Seed),
+			"runs":        fmt.Sprintf("%d", opts.Runs),
+			"workers":     fmt.Sprintf("%d", opts.Workers),
+		},
+		Kernels: rows,
+		Spans:   spans.Snapshot(),
+		Metrics: &snap,
+	}, nil
+}
+
+// benchKernel builds one benchmark and times Runs scans of its standard
+// input, under a root span named after the kernel.
+func benchKernel(b core.Benchmark, opts BenchOptions, spans *telemetry.Spans, reg *telemetry.Registry, clock func() int64) (KernelRow, error) {
+	ksp := spans.Start(b.Name)
+	defer ksp.End()
+
+	bsp := ksp.Start("build")
+	a, segs, err := b.Build(opts.Config)
+	bsp.End()
+	if err != nil {
+		return KernelRow{}, err
+	}
+	var inputBytes int64
+	for _, seg := range segs {
+		inputBytes += int64(len(seg))
+	}
+
+	var plan *partition.Plan
+	if opts.Workers > 1 {
+		psp := ksp.Start("partition")
+		plan = partition.ForWorkers(a, opts.Workers)
+		psp.End()
+	}
+	var engine *sim.Engine
+	if plan == nil {
+		engine = sim.New(a)
+		engine.SetRegistry(reg)
+	}
+
+	var symbols, reports int64
+	rates := make([]float64, 0, opts.Runs)
+	for r := 0; r < opts.Runs; r++ {
+		rsp := ksp.Start("scan")
+		start := clock()
+		symbols, reports = 0, 0
+		if plan != nil {
+			for _, seg := range segs {
+				// Partition spans go to a fork adopted under the scan span,
+				// so slice-level timing aggregates across segments and reps.
+				fork := spans.Fork()
+				res, err := plan.Run(context.Background(), seg, partition.RunOptions{
+					Workers:  opts.Workers,
+					Registry: reg,
+					Spans:    fork,
+				})
+				rsp.Adopt(fork)
+				if err != nil {
+					rsp.End()
+					return KernelRow{}, err
+				}
+				symbols += int64(len(seg))
+				reports += res.Reports
+			}
+		} else {
+			for _, seg := range segs {
+				engine.Reset()
+				st := engine.Run(seg)
+				symbols += st.Symbols
+				reports += st.Reports
+			}
+		}
+		elapsed := clock() - start
+		rsp.End()
+		rates = append(rates, bytesPerSec(inputBytes, elapsed)/1e6)
+	}
+
+	agg := AggregateOf(rates)
+	return KernelRow{
+		Name:       b.Name,
+		States:     a.NumStates(),
+		Runs:       opts.Runs,
+		Symbols:    symbols,
+		Reports:    reports,
+		Unit:       "MB/s",
+		Throughput: &agg,
+	}, nil
+}
+
+// bytesPerSec converts a byte count and elapsed nanoseconds to a rate,
+// clamping the elapsed time to one microsecond: coarse clocks and tiny
+// inputs can observe zero elapsed time, and a +Inf row would poison every
+// later benchdiff against the artifact.
+func bytesPerSec(n, nanos int64) float64 {
+	if nanos < 1000 {
+		nanos = 1000
+	}
+	return float64(n) / (float64(nanos) / 1e9)
+}
+
+// selectKernels resolves name filters against the registry in suite
+// order: a filter matches by case-insensitive exact name first, then by
+// substring; each benchmark appears at most once.
+func selectKernels(all []core.Benchmark, filters []string) ([]core.Benchmark, error) {
+	if len(filters) == 0 {
+		return all, nil
+	}
+	picked := make([]bool, len(all))
+	for _, f := range filters {
+		lf := strings.ToLower(strings.TrimSpace(f))
+		if lf == "" {
+			continue
+		}
+		matched := false
+		for i, b := range all {
+			if strings.ToLower(b.Name) == lf {
+				picked[i] = true
+				matched = true
+			}
+		}
+		if !matched {
+			for i, b := range all {
+				if strings.Contains(strings.ToLower(b.Name), lf) {
+					picked[i] = true
+					matched = true
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("report: no benchmark matches %q (see `azoo list`)", f)
+		}
+	}
+	var out []core.Benchmark
+	for i, b := range all {
+		if picked[i] {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}

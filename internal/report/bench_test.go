@@ -1,0 +1,152 @@
+package report
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"automatazoo/internal/core"
+)
+
+// benchConfig is a tiny suite configuration keeping the golden test fast.
+var benchConfig = core.Config{Scale: 0.01, InputBytes: 2000, Seed: 0xa20}
+
+func fixedEnv() *Environment {
+	return &Environment{
+		GOOS: "linux", GOARCH: "amd64", NumCPU: 8, Workers: 1,
+		GoVersion: "go1.22", ModuleVersion: "v0.0.0-test", VCSRevision: "deadbeef",
+	}
+}
+
+func tickClock() func() int64 {
+	var t atomic.Int64
+	return func() int64 { return t.Add(1000) }
+}
+
+func runBench(t *testing.T) *Manifest {
+	t.Helper()
+	m, err := Bench(BenchOptions{
+		Label:     "golden",
+		Runs:      2,
+		Kernels:   []string{"File Carving"},
+		Config:    benchConfig,
+		Timestamp: time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC),
+		Clock:     tickClock(),
+		Env:       fixedEnv(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestBenchByteDeterministic is the artifact golden test: with a fixed
+// clock, environment, and timestamp, two Bench invocations encode to
+// byte-identical JSON.
+func TestBenchByteDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := runBench(t).WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := runBench(t).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("two Bench runs encode differently:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+	}
+}
+
+func TestBenchManifestShape(t *testing.T) {
+	m := runBench(t)
+	if m.SchemaVersion != SchemaVersion || m.Command != "bench" || m.Label != "golden" {
+		t.Errorf("manifest header = %+v", m)
+	}
+	if m.Timestamp != "2026-08-06T00:00:00Z" {
+		t.Errorf("timestamp = %q", m.Timestamp)
+	}
+	if len(m.Kernels) != 1 {
+		t.Fatalf("kernels = %+v, want exactly File Carving", m.Kernels)
+	}
+	k := m.Kernels[0]
+	if k.Name != "File Carving" || k.Runs != 2 || k.States <= 0 || k.Symbols <= 0 {
+		t.Errorf("kernel row = %+v", k)
+	}
+	if k.Throughput == nil || k.Throughput.Min <= 0 || k.Throughput.Min > k.Throughput.Max {
+		t.Errorf("throughput aggregate = %+v", k.Throughput)
+	}
+	spans := m.KernelSpans("File Carving")
+	var names []string
+	for _, s := range spans {
+		names = append(names, s.Name)
+	}
+	if len(names) != 2 || names[0] != "build" || names[1] != "scan" {
+		t.Errorf("kernel spans = %v, want [build scan]", names)
+	}
+	if spans[1].Count != 2 { // one scan span per run, aggregated
+		t.Errorf("scan count = %d, want 2", spans[1].Count)
+	}
+	if m.Metrics == nil || m.Metrics.Counters["sim.symbols"] <= 0 {
+		t.Errorf("metrics snapshot missing sim counters: %+v", m.Metrics)
+	}
+}
+
+func TestBenchWorkersMatchesSequentialCounts(t *testing.T) {
+	seq := runBench(t)
+	par, err := Bench(BenchOptions{
+		Label:     "golden",
+		Runs:      2,
+		Kernels:   []string{"File Carving"},
+		Config:    benchConfig,
+		Workers:   4,
+		Timestamp: time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC),
+		Clock:     tickClock(),
+		Env:       fixedEnv(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, kp := seq.Kernels[0], par.Kernels[0]
+	if ks.Symbols != kp.Symbols || ks.Reports != kp.Reports || ks.States != kp.States {
+		t.Errorf("workers=4 row %+v differs from sequential %+v", kp, ks)
+	}
+}
+
+func TestBenchUnknownKernel(t *testing.T) {
+	_, err := Bench(BenchOptions{
+		Kernels: []string{"no such kernel"},
+		Config:  benchConfig,
+	})
+	if err == nil {
+		t.Fatal("Bench accepted a filter matching nothing")
+	}
+}
+
+func TestSelectKernels(t *testing.T) {
+	all := core.All()
+	got, err := selectKernels(all, []string{"snort"})
+	if err != nil || len(got) != 1 || got[0].Name != "Snort" {
+		t.Errorf("selectKernels(snort) = %v, %v", got, err)
+	}
+	// Substring filters may match several; duplicates collapse.
+	got, err = selectKernels(all, []string{"Snort", "snort"})
+	if err != nil || len(got) != 1 {
+		t.Errorf("duplicate filters = %v, %v", got, err)
+	}
+	got, err = selectKernels(all, nil)
+	if err != nil || len(got) != len(all) {
+		t.Errorf("empty filter should select the whole suite")
+	}
+}
+
+func TestBytesPerSecClamps(t *testing.T) {
+	if v := bytesPerSec(1000, 0); v <= 0 || v > 1e12 {
+		t.Errorf("bytesPerSec(1000, 0) = %g, want finite clamped rate", v)
+	}
+	if v := bytesPerSec(0, 0); v != 0 {
+		t.Errorf("bytesPerSec(0, 0) = %g, want 0", v)
+	}
+	if v := bytesPerSec(1e6, 1e9); v != 1e6 {
+		t.Errorf("bytesPerSec(1e6, 1s) = %g, want 1e6", v)
+	}
+}

@@ -1,0 +1,229 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"automatazoo/internal/telemetry"
+)
+
+// SpanDelta compares one flattened phase-span path across two manifests.
+// A span present on only one side has the other side's nanos at 0.
+type SpanDelta struct {
+	Path     string
+	OldNanos int64
+	NewNanos int64
+}
+
+// Pct returns the relative change in percent, 0 when the old side is 0.
+func (d SpanDelta) Pct() float64 {
+	if d.OldNanos == 0 {
+		return 0
+	}
+	return (float64(d.NewNanos) - float64(d.OldNanos)) / float64(d.OldNanos) * 100
+}
+
+// KernelDelta compares one kernel across two manifests, aligned by name.
+type KernelDelta struct {
+	Name string
+
+	HasThroughput bool
+	OldMean       float64 // mean throughput (row's Unit)
+	NewMean       float64
+	Unit          string
+
+	OldStates int
+	NewStates int
+
+	HasCache   bool
+	OldHitRate float64
+	NewHitRate float64
+
+	Spans []SpanDelta
+
+	// Regression is set when throughput dropped beyond the threshold.
+	Regression bool
+}
+
+// ThroughputPct returns the relative throughput change in percent.
+func (d KernelDelta) ThroughputPct() float64 {
+	if d.OldMean == 0 {
+		return 0
+	}
+	return (d.NewMean - d.OldMean) / d.OldMean * 100
+}
+
+// Diff is the outcome of comparing two manifests.
+type Diff struct {
+	Threshold   float64 // regression threshold as a fraction, e.g. 0.05
+	Kernels     []KernelDelta
+	OnlyOld     []string // kernels present only in the old manifest
+	OnlyNew     []string
+	Regressions []string // names of kernels flagged as regressions
+}
+
+// Compare aligns two manifests kernel-by-kernel (by name, in the new
+// manifest's order) and flags every kernel whose mean throughput dropped
+// by more than threshold (a fraction: 0.05 = 5%). Kernels without
+// throughput on both sides are compared structurally only.
+func Compare(oldM, newM *Manifest, threshold float64) *Diff {
+	d := &Diff{Threshold: threshold}
+	oldSeen := map[string]bool{}
+	for _, k := range newM.Kernels {
+		ok := oldM.Kernel(k.Name)
+		if ok == nil {
+			d.OnlyNew = append(d.OnlyNew, k.Name)
+			continue
+		}
+		oldSeen[k.Name] = true
+		kd := KernelDelta{
+			Name:      k.Name,
+			OldStates: ok.States,
+			NewStates: k.States,
+			Unit:      k.Unit,
+		}
+		if ok.Throughput != nil && k.Throughput != nil {
+			kd.HasThroughput = true
+			kd.OldMean = ok.Throughput.Mean
+			kd.NewMean = k.Throughput.Mean
+			if kd.OldMean > 0 && kd.NewMean < kd.OldMean*(1-threshold) {
+				kd.Regression = true
+				d.Regressions = append(d.Regressions, k.Name)
+			}
+		}
+		if ok.HasCache && k.HasCache {
+			kd.HasCache = true
+			kd.OldHitRate = ok.CacheHitRate
+			kd.NewHitRate = k.CacheHitRate
+		}
+		kd.Spans = diffSpans(oldM.KernelSpans(k.Name), newM.KernelSpans(k.Name))
+		d.Kernels = append(d.Kernels, kd)
+	}
+	for _, k := range oldM.Kernels {
+		if !oldSeen[k.Name] && newM.Kernel(k.Name) == nil {
+			d.OnlyOld = append(d.OnlyOld, k.Name)
+		}
+	}
+	return d
+}
+
+// diffSpans aligns two flattened span forests by path, in new-side order
+// with old-only paths appended.
+func diffSpans(oldS, newS []telemetry.SpanSnapshot) []SpanDelta {
+	if oldS == nil && newS == nil {
+		return nil
+	}
+	oldFlat := telemetry.FlattenSpans(oldS)
+	newFlat := telemetry.FlattenSpans(newS)
+	oldBy := make(map[string]int64, len(oldFlat))
+	for _, f := range oldFlat {
+		oldBy[f.Path] = f.Nanos
+	}
+	seen := map[string]bool{}
+	var out []SpanDelta
+	for _, f := range newFlat {
+		seen[f.Path] = true
+		out = append(out, SpanDelta{Path: f.Path, OldNanos: oldBy[f.Path], NewNanos: f.Nanos})
+	}
+	for _, f := range oldFlat {
+		if !seen[f.Path] {
+			out = append(out, SpanDelta{Path: f.Path, OldNanos: f.Nanos})
+		}
+	}
+	return out
+}
+
+// HasRegressions reports whether any kernel crossed the threshold — the
+// condition under which `azoo benchdiff` (and `make benchdiff`) exit
+// non-zero.
+func (d *Diff) HasRegressions() bool { return len(d.Regressions) > 0 }
+
+// Write renders the delta table: one line per kernel with throughput,
+// state-count, and cache-hit-rate deltas, then a per-kernel phase-span
+// breakdown for kernels whose timing shifted.
+func (d *Diff) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-24s %14s %14s %9s %9s %10s  %s\n",
+		"Kernel", "Old", "New", "Delta", "States", "CacheHit", "Verdict"); err != nil {
+		return err
+	}
+	for _, k := range d.Kernels {
+		oldCol, newCol, deltaCol := "-", "-", "-"
+		if k.HasThroughput {
+			unit := k.Unit
+			if unit == "" {
+				unit = "u/s"
+			}
+			oldCol = fmt.Sprintf("%.2f %s", k.OldMean, unit)
+			newCol = fmt.Sprintf("%.2f %s", k.NewMean, unit)
+			deltaCol = fmt.Sprintf("%+.1f%%", k.ThroughputPct())
+		}
+		states := "="
+		if k.NewStates != k.OldStates {
+			states = fmt.Sprintf("%+d", k.NewStates-k.OldStates)
+		}
+		cache := "-"
+		if k.HasCache {
+			cache = fmt.Sprintf("%+.2fpp", (k.NewHitRate-k.OldHitRate)*100)
+		}
+		verdict := "ok"
+		if k.Regression {
+			verdict = "REGRESSION"
+		}
+		if _, err := fmt.Fprintf(w, "%-24s %14s %14s %9s %9s %10s  %s\n",
+			k.Name, oldCol, newCol, deltaCol, states, cache, verdict); err != nil {
+			return err
+		}
+	}
+	for _, k := range d.Kernels {
+		if len(k.Spans) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "\n%s phase spans:\n", k.Name); err != nil {
+			return err
+		}
+		for _, s := range k.Spans {
+			if _, err := fmt.Fprintf(w, "  %-28s %12.3fms %12.3fms %8s\n",
+				s.Path, float64(s.OldNanos)/1e6, float64(s.NewNanos)/1e6,
+				fmt.Sprintf("%+.1f%%", s.Pct())); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range d.OnlyOld {
+		if _, err := fmt.Fprintf(w, "%-24s removed (present only in old manifest)\n", name); err != nil {
+			return err
+		}
+	}
+	for _, name := range d.OnlyNew {
+		if _, err := fmt.Fprintf(w, "%-24s added (present only in new manifest)\n", name); err != nil {
+			return err
+		}
+	}
+	if d.HasRegressions() {
+		_, err := fmt.Fprintf(w, "\n%d kernel(s) regressed beyond %.1f%%: %s\n",
+			len(d.Regressions), d.Threshold*100, strings.Join(d.Regressions, ", "))
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\nno regressions beyond %.1f%%\n", d.Threshold*100)
+	return err
+}
+
+// ParseThreshold parses a regression threshold: "5%" and "0.05" both mean
+// five percent.
+func ParseThreshold(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("report: bad threshold %q (want e.g. \"5%%\" or \"0.05\")", s)
+	}
+	if pct {
+		v /= 100
+	}
+	if v < 0 || v >= 1 {
+		return 0, fmt.Errorf("report: threshold %q out of range [0%%, 100%%)", s)
+	}
+	return v, nil
+}

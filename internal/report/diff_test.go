@@ -1,0 +1,133 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"automatazoo/internal/telemetry"
+)
+
+func diffManifest(mean float64) *Manifest {
+	tp := Aggregate{Min: mean * 0.9, Mean: mean, Max: mean * 1.1}
+	return &Manifest{
+		SchemaVersion: SchemaVersion,
+		Label:         "t",
+		Timestamp:     "2026-08-06T00:00:00Z",
+		Kernels: []KernelRow{
+			{Name: "Snort", States: 100, Unit: "MB/s", Throughput: &tp,
+				HasCache: true, CacheHitRate: 0.9},
+		},
+		Spans: []telemetry.SpanSnapshot{
+			{Name: "Snort", Nanos: 300, Count: 1, Children: []telemetry.SpanSnapshot{
+				{Name: "build", Nanos: 100, Count: 1},
+				{Name: "scan", Nanos: 200, Count: 1},
+			}},
+		},
+	}
+}
+
+func TestCompareSelfNoRegression(t *testing.T) {
+	m := diffManifest(100)
+	d := Compare(m, m, 0.05)
+	if d.HasRegressions() {
+		t.Errorf("self-diff flagged regressions: %v", d.Regressions)
+	}
+	if len(d.Kernels) != 1 || d.Kernels[0].ThroughputPct() != 0 {
+		t.Errorf("self-diff deltas = %+v", d.Kernels)
+	}
+	var sb strings.Builder
+	if err := d.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no regressions") {
+		t.Errorf("self-diff output:\n%s", sb.String())
+	}
+}
+
+// TestCompareSyntheticRegression is the gate fixture: a 20% throughput
+// drop against a 5% threshold must be flagged (and drives benchdiff's
+// non-zero exit).
+func TestCompareSyntheticRegression(t *testing.T) {
+	oldM, newM := diffManifest(100), diffManifest(80)
+	d := Compare(oldM, newM, 0.05)
+	if !d.HasRegressions() {
+		t.Fatal("20% drop not flagged at 5% threshold")
+	}
+	if len(d.Regressions) != 1 || d.Regressions[0] != "Snort" {
+		t.Errorf("regressions = %v", d.Regressions)
+	}
+	var sb strings.Builder
+	if err := d.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Errorf("regression output missing verdict:\n%s", sb.String())
+	}
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	d := Compare(diffManifest(100), diffManifest(97), 0.05)
+	if d.HasRegressions() {
+		t.Errorf("3%% drop flagged at 5%% threshold: %v", d.Regressions)
+	}
+	// An improvement is never a regression.
+	d = Compare(diffManifest(100), diffManifest(150), 0.05)
+	if d.HasRegressions() {
+		t.Errorf("improvement flagged: %v", d.Regressions)
+	}
+}
+
+func TestCompareAddedRemovedKernels(t *testing.T) {
+	oldM, newM := diffManifest(100), diffManifest(100)
+	newM.Kernels = append(newM.Kernels, KernelRow{Name: "Brill"})
+	oldM.Kernels = append(oldM.Kernels, KernelRow{Name: "ClamAV"})
+	d := Compare(oldM, newM, 0.05)
+	if len(d.OnlyNew) != 1 || d.OnlyNew[0] != "Brill" {
+		t.Errorf("OnlyNew = %v", d.OnlyNew)
+	}
+	if len(d.OnlyOld) != 1 || d.OnlyOld[0] != "ClamAV" {
+		t.Errorf("OnlyOld = %v", d.OnlyOld)
+	}
+}
+
+func TestCompareSpanDeltas(t *testing.T) {
+	oldM, newM := diffManifest(100), diffManifest(100)
+	newM.Spans[0].Children[1].Nanos = 400 // scan doubled
+	d := Compare(oldM, newM, 0.05)
+	var scan *SpanDelta
+	for i := range d.Kernels[0].Spans {
+		if d.Kernels[0].Spans[i].Path == "scan" {
+			scan = &d.Kernels[0].Spans[i]
+		}
+	}
+	if scan == nil || scan.OldNanos != 200 || scan.NewNanos != 400 {
+		t.Fatalf("scan delta = %+v", scan)
+	}
+	if scan.Pct() != 100 {
+		t.Errorf("scan Pct = %g, want 100", scan.Pct())
+	}
+}
+
+func TestParseThreshold(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"5%", 0.05, true},
+		{"0.05", 0.05, true},
+		{" 10% ", 0.10, true},
+		{"0", 0, true},
+		{"100%", 0, false},
+		{"-1%", 0, false},
+		{"abc", 0, false},
+	} {
+		got, err := ParseThreshold(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseThreshold(%q) = %g, %v, want %g", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseThreshold(%q) accepted", tc.in)
+		}
+	}
+}

@@ -139,6 +139,12 @@ type Engine struct {
 	reg          *telemetry.Registry
 	frontierHist *telemetry.Histogram
 	published    Stats // portion of stats already flushed to reg
+
+	// spans, when attached, records one aggregated "sim.run" phase span
+	// per Run call. It is deliberately not part of telemetryOn: the span
+	// is opened outside the per-symbol loop, so the disabled path stays a
+	// nil-receiver no-op with zero allocations (see the allocguard test).
+	spans *telemetry.Spans
 }
 
 // Options tune the engine's internal strategies; the zero value is the
@@ -236,6 +242,12 @@ func (e *Engine) syncTelemetryOn() {
 	e.telemetryOn = e.prof != nil || e.tracer != nil || e.frontierHist != nil
 }
 
+// SetSpans attaches a phase-span collector (nil detaches): every Run call
+// is timed as a "sim.run" span, aggregated across calls (segmented
+// workloads produce one span node with Count == segments, not one node
+// per segment).
+func (e *Engine) SetSpans(s *telemetry.Spans) { e.spans = s }
+
 // SetRegistry attaches a metrics registry (nil detaches). Aggregate run
 // statistics are flushed to the sim.* counters at the end of every Run
 // (and on Reset), and the per-symbol enabled-frontier size is observed
@@ -310,12 +322,14 @@ func (e *Engine) Reports() []Report { return e.reports }
 // Run consumes the entire input and returns the accumulated statistics.
 // It may be called repeatedly to continue the same logical stream.
 func (e *Engine) Run(input []byte) Stats {
+	sp := e.spans.Start("sim.run")
 	for _, b := range input {
 		e.Step(b)
 	}
 	if e.reg != nil {
 		e.flushStats()
 	}
+	sp.End()
 	return e.stats
 }
 

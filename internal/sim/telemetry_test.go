@@ -7,11 +7,13 @@ import (
 )
 
 // TestNilTelemetryZeroAllocs is the benchmark guard for the disabled
-// telemetry path: with no tracer, profile, or registry attached,
-// Run must not allocate at all once the engine is warm.
+// telemetry path: with no tracer, profile, registry, or span collector
+// attached, Run must not allocate at all once the engine is warm (the
+// per-run "sim.run" phase span reduces to a nil-receiver no-op).
 func TestNilTelemetryZeroAllocs(t *testing.T) {
 	a := literalAutomaton("abc", 1)
 	e := New(a)
+	e.SetSpans(nil) // explicit: the disabled span path is part of the guard
 	input := []byte("xxabcxxabcabcxaxbxcabxcabc")
 	// Warm: establish frontier slice capacities.
 	e.Reset()

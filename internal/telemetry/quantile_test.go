@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", ExpBuckets(1, 4))
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("Quantile(%g) of empty histogram = %g, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []int64{25, 50, 75, 100})
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+		tol  float64
+	}{
+		{0.50, 50, 1},
+		{0.90, 90, 3},
+		{0.99, 99, 2},
+		{1.00, 100, 0}, // P100 is exactly the observed max
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("Quantile(%g) = %g, want %g±%g", tc.q, got, tc.want, tc.tol)
+		}
+	}
+}
+
+func TestQuantileClampsRange(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []int64{10})
+	h.Observe(4)
+	if got := h.Quantile(-1); got < 0 {
+		t.Errorf("Quantile(-1) = %g, want >= 0", got)
+	}
+	if got := h.Quantile(2); got != 4 {
+		t.Errorf("Quantile(2) = %g, want max 4", got)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []int64{10}) // overflow holds everything > 10
+	h.Observe(500)
+	h.Observe(900)
+	// Both samples live in the overflow bucket whose upper edge is the
+	// observed max; no quantile may exceed it.
+	for _, q := range []float64{0.5, 0.9, 1} {
+		got := h.Quantile(q)
+		if got > 900 {
+			t.Errorf("Quantile(%g) = %g, exceeds observed max 900", q, got)
+		}
+	}
+	if got := h.Quantile(1); got != 900 {
+		t.Errorf("Quantile(1) = %g, want 900", got)
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", ExpBuckets(1, 10))
+	h.Observe(37)
+	if got := h.Quantile(1); got != 37 {
+		t.Errorf("Quantile(1) = %g, want 37", got)
+	}
+	if got := h.Quantile(0.5); got > 37 {
+		t.Errorf("Quantile(0.5) = %g, exceeds max 37", got)
+	}
+}

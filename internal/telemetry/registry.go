@@ -84,6 +84,51 @@ func (h *Histogram) Mean() float64 {
 // Max returns the largest observed value, 0 with no observations.
 func (h *Histogram) Max() int64 { return h.max.Value() }
 
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts by
+// linear interpolation within the bucket containing the target rank. The
+// overflow bucket's upper edge is the observed maximum, so P100 is exact
+// and estimates never exceed Max. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(n)
+	max := float64(h.max.Value())
+	var cum int64
+	lower := 0.0
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			if i < len(h.bounds) && float64(h.bounds[i]) < max {
+				lower = float64(h.bounds[i])
+			}
+			continue
+		}
+		upper := max
+		if i < len(h.bounds) && float64(h.bounds[i]) < max {
+			upper = float64(h.bounds[i])
+		}
+		if float64(cum)+float64(c) >= target {
+			frac := (target - float64(cum)) / float64(c)
+			v := lower + frac*(upper-lower)
+			if v > max {
+				v = max
+			}
+			return v
+		}
+		cum += c
+		lower = upper
+	}
+	return max
+}
+
 // ExpBuckets returns n exponentially spaced bounds starting at first and
 // doubling: first, 2*first, 4*first, ... — the standard shape for
 // frontier-size and latency distributions.

@@ -127,7 +127,7 @@ func dfaLines(name string, a *automata.Automaton, segs [][]byte, workers int) (s
 	}
 	return fmt.Sprintf("%s: %d states, %d symbols, %d reports, %d DFA states, %d fallbacks\n",
 			name, a.NumStates(), symbols, reports, st.DFAStates, st.Fallbacks) +
-		fmt.Sprintf("transition cache: %.2f%% hit rate, %.4f evictions/lookup\n",
-			st.HitRate()*100, st.EvictionRate()),
+			fmt.Sprintf("transition cache: %.2f%% hit rate, %.4f evictions/lookup\n",
+				st.HitRate()*100, st.EvictionRate()),
 		nil
 }
