@@ -9,9 +9,14 @@ BENCH_KERNELS ?=
 OLD ?=
 NEW ?=
 
-.PHONY: ci build vet fmt-check test race race-parallel allocguard bench bench-engines bench-parallel bench-snapshot benchdiff clean
+# Per-target budget for the fuzz-short gate. The checked-in seed corpora
+# under internal/difftest/testdata/fuzz/ run deterministically on every
+# plain `go test`; this budget buys mutation time on top.
+FUZZTIME ?= 10s
 
-ci: vet fmt-check build test race-parallel race allocguard
+.PHONY: ci build vet fmt-check test race race-parallel allocguard fuzz-short difftest-soak bench bench-engines bench-parallel bench-snapshot benchdiff clean
+
+ci: vet fmt-check build test race-parallel race allocguard fuzz-short
 
 build:
 	$(GO) build ./...
@@ -44,6 +49,19 @@ race-parallel:
 # allocation-free with no tracer/profile/registry attached.
 allocguard:
 	$(GO) test -run 'TestNilTelemetryZeroAllocs' -count=1 -v ./internal/sim/
+
+# Short differential-fuzzing gate: each oracle target gets a fixed
+# FUZZTIME of mutation on top of the always-executed deterministic seed
+# corpus (go permits one -fuzz target per invocation, hence three runs).
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz 'FuzzSimVsDFA' -fuzztime $(FUZZTIME) ./internal/difftest/
+	$(GO) test -run '^$$' -fuzz 'FuzzCompressPreservesReports' -fuzztime $(FUZZTIME) ./internal/difftest/
+	$(GO) test -run '^$$' -fuzz 'FuzzRegexCompile' -fuzztime $(FUZZTIME) ./internal/difftest/
+
+# Long cross-engine soak (the acceptance gate for engine changes):
+# 500 seeded trials through every comparable engine pair.
+difftest-soak:
+	$(GO) run ./cmd/azoo difftest -seeds 500
 
 # Engine hot-loop microbenchmarks (the <2% telemetry-overhead budget is
 # judged against these).

@@ -16,6 +16,7 @@
 //	azoo snortrates [-scale 0.2] [-input 400000]
 //	azoo bench  [-label ci] [-runs 3] [-kernels "Snort,Brill"] [-j N]
 //	azoo benchdiff old.json new.json [-threshold 5%]
+//	azoo difftest [-seeds 500] [-states 12] [-input 512] [-seed 1] [-pair sim-dfa] [-json]
 //	azoo version
 //
 // run and the table commands accept -report <file> to write a run-report
@@ -87,6 +88,8 @@ func main() {
 		err = cmdBench(args)
 	case "benchdiff":
 		err = cmdBenchDiff(args)
+	case "difftest":
+		err = cmdDifftest(args)
 	case "version":
 		err = cmdVersion()
 	default:
@@ -116,6 +119,7 @@ commands:
   partition    bin-pack a benchmark onto a capacity-limited device
   bench        run a kernel set N times and write a BENCH_<label>.json manifest
   benchdiff    compare two manifests; non-zero exit on throughput regression
+  difftest     cross-engine differential soak; non-zero exit on divergence
   version      print the build's version and VCS revision`)
 }
 

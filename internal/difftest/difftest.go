@@ -1,0 +1,394 @@
+// Package difftest is the cross-engine differential oracle: it generates
+// seeded random automata and inputs, runs the same workload through pairs
+// of independently-implemented engines, and diagnoses the first divergence
+// in their (offset, code) report streams.
+//
+// The paper's throughput tables are only meaningful because every engine
+// agrees on *what matches where*; Hyperscan guards the same property with
+// its hscollider tool. Three pairs are comparable here:
+//
+//	sim vs dfa            counter-free automata only: determinization has
+//	                      no translation for counter elements (dfa.New
+//	                      returns ErrCounters), so counter-bearing inputs
+//	                      are excluded by construction, not skipped.
+//	sim vs compressed-sim prefix-merge must preserve the exact report
+//	                      multiset. The generator gives every reporting
+//	                      state a unique code, so two reporting states are
+//	                      never merge-candidates and multiset equality is
+//	                      the honest acceptance bar.
+//	sim vs bitnfa         the bit-level reference interpreter vs sim
+//	                      executing the 8-strided byte automaton.
+//
+// Every generator consumes an explicit randx seed, so any divergence is
+// reproducible from its seed alone — the CLI (azoo difftest) prints seeds
+// in its JSON report and the fuzz targets store them in the corpus.
+package difftest
+
+import (
+	"fmt"
+	"sort"
+
+	"automatazoo/internal/automata"
+	"automatazoo/internal/bitnfa"
+	"automatazoo/internal/charset"
+	"automatazoo/internal/dfa"
+	"automatazoo/internal/randx"
+	"automatazoo/internal/sim"
+	"automatazoo/internal/transform"
+)
+
+// Event is one report, reduced to the fields every engine must agree on.
+// State IDs are deliberately dropped: transforms renumber states, so only
+// (offset, code) is comparable across engines.
+type Event struct {
+	Offset int64 `json:"offset"`
+	Code   int32 `json:"code"`
+}
+
+func canon(evs []Event) []Event {
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Offset != evs[j].Offset {
+			return evs[i].Offset < evs[j].Offset
+		}
+		return evs[i].Code < evs[j].Code
+	})
+	return evs
+}
+
+func simEvents(a *automata.Automaton, input []byte) []Event {
+	e := sim.New(a)
+	e.CollectReports = true
+	e.Run(input)
+	evs := make([]Event, 0, len(e.Reports()))
+	for _, r := range e.Reports() {
+		evs = append(evs, Event{Offset: r.Offset, Code: r.Code})
+	}
+	return canon(evs)
+}
+
+// Divergence describes the first point where two engines disagree.
+type Divergence struct {
+	Pair       string  `json:"pair"`
+	Seed       uint64  `json:"seed,omitempty"`       // set by Soak; zero for direct oracle calls
+	Offset     int64   `json:"offset"`               // first diverging input offset
+	Missing    []Event `json:"missing,omitempty"`    // reference emitted, candidate did not
+	Unexpected []Event `json:"unexpected,omitempty"` // candidate emitted, reference did not
+	Detail     string  `json:"detail"`
+}
+
+func (d *Divergence) String() string {
+	if d == nil {
+		return "<no divergence>"
+	}
+	return fmt.Sprintf("%s diverges at offset %d: missing=%v unexpected=%v (%s)",
+		d.Pair, d.Offset, d.Missing, d.Unexpected, d.Detail)
+}
+
+// diffStreams compares two canonical event streams and, when they differ,
+// localizes the first diverging offset and the per-offset multiset delta.
+// ref is the trusted reference (sim), got the engine under test.
+func diffStreams(pair string, ref, got []Event) *Divergence {
+	i, j := 0, 0
+	for i < len(ref) && j < len(got) {
+		if ref[i] == got[j] {
+			i, j = i+1, j+1
+			continue
+		}
+		break
+	}
+	if i == len(ref) && j == len(got) {
+		return nil
+	}
+	// First disagreement is at the earlier of the two cursors' offsets.
+	var at int64
+	switch {
+	case i < len(ref) && j < len(got):
+		at = min(ref[i].Offset, got[j].Offset)
+	case i < len(ref):
+		at = ref[i].Offset
+	default:
+		at = got[j].Offset
+	}
+	d := &Divergence{Pair: pair, Offset: at}
+	// Multiset delta restricted to the diverging offset: counts per code.
+	refAt := map[int32]int{}
+	gotAt := map[int32]int{}
+	for _, e := range ref {
+		if e.Offset == at {
+			refAt[e.Code]++
+		}
+	}
+	for _, e := range got {
+		if e.Offset == at {
+			gotAt[e.Code]++
+		}
+	}
+	for code, n := range refAt {
+		for k := gotAt[code]; k < n; k++ {
+			d.Missing = append(d.Missing, Event{Offset: at, Code: code})
+		}
+	}
+	for code, n := range gotAt {
+		for k := refAt[code]; k < n; k++ {
+			d.Unexpected = append(d.Unexpected, Event{Offset: at, Code: code})
+		}
+	}
+	canon(d.Missing)
+	canon(d.Unexpected)
+	d.Detail = fmt.Sprintf("reference emitted %d events, candidate %d; first mismatch at stream index %d/%d",
+		len(ref), len(got), i, j)
+	return d
+}
+
+// GenConfig parameterizes the byte-level random-automaton generator. The
+// zero value is normalized to a small, match-dense configuration.
+type GenConfig struct {
+	States     int     // STE count (default 12)
+	Counters   int     // counter-element count (default 0 = counter-free)
+	MeanFanOut float64 // average out-edges per state (default 1.5)
+	Density    float64 // P(alphabet byte ∈ class) per state (default 0.35)
+	StartFrac  float64 // P(state is an all-input start) (default 0.25)
+	ReportFrac float64 // P(state reports) (default 0.25)
+	Alphabet   []byte  // class/input symbol pool (default 'a'..'h')
+}
+
+func (c GenConfig) normalized() GenConfig {
+	if c.States <= 0 {
+		c.States = 12
+	}
+	if c.MeanFanOut <= 0 {
+		c.MeanFanOut = 1.5
+	}
+	if c.Density <= 0 {
+		c.Density = 0.35
+	}
+	if c.StartFrac <= 0 {
+		c.StartFrac = 0.25
+	}
+	if c.ReportFrac <= 0 {
+		c.ReportFrac = 0.25
+	}
+	if len(c.Alphabet) == 0 {
+		c.Alphabet = []byte("abcdefgh")
+	}
+	return c
+}
+
+// Generate builds a random homogeneous automaton from rng. The small
+// default alphabet keeps the match rate high enough that report-stream
+// comparison actually exercises the emit paths (uniform byte classes over
+// all 256 values almost never overlap a random input). Every reporting
+// state gets a unique code, which is what makes exact-multiset comparison
+// against prefix-merged automata sound: two reporting states never share a
+// merge signature.
+func Generate(rng *randx.Rand, cfg GenConfig) *automata.Automaton {
+	cfg = cfg.normalized()
+	b := automata.NewBuilder()
+
+	var stes []automata.StateID
+	for i := 0; i < cfg.States; i++ {
+		var cs charset.Set
+		for _, sym := range cfg.Alphabet {
+			if rng.Float64() < cfg.Density {
+				cs.Add(sym)
+			}
+		}
+		if cs.IsEmpty() {
+			cs.Add(randx.Pick(rng, cfg.Alphabet))
+		}
+		start := automata.StartNone
+		switch r := rng.Float64(); {
+		case r < cfg.StartFrac:
+			start = automata.StartAllInput
+		case r < cfg.StartFrac+0.08:
+			start = automata.StartOfData
+		}
+		stes = append(stes, b.AddSTE(cs, start))
+	}
+	var counters []automata.StateID
+	for i := 0; i < cfg.Counters; i++ {
+		mode := automata.CountRollover
+		if rng.Intn(2) == 1 {
+			mode = automata.CountLatch
+		}
+		counters = append(counters, b.AddCounter(uint32(rng.IntRange(1, 4)), mode))
+	}
+	all := append(append([]automata.StateID(nil), stes...), counters...)
+
+	// Edges: each state draws ~MeanFanOut successors uniformly over all
+	// elements, so counter-bearing configs naturally produce STE→counter
+	// pulses and counter→counter chains (the shape that flushed out the
+	// fireCounters determinism bug). Counters additionally get a guaranteed
+	// STE pulse source so they aren't dead weight.
+	maxFan := int(2*cfg.MeanFanOut) + 1
+	for _, from := range all {
+		for n := rng.Intn(maxFan + 1); n > 0; n-- {
+			b.AddEdge(from, randx.Pick(rng, all))
+		}
+	}
+	for _, c := range counters {
+		b.AddEdge(randx.Pick(rng, stes), c)
+	}
+
+	// Reports: unique code per reporting state (code = id+1, so 0 is never
+	// a valid code). Guarantee at least one start and one reporter so the
+	// automaton can do something observable.
+	reported := false
+	for _, id := range all {
+		if rng.Float64() < cfg.ReportFrac {
+			b.SetReport(id, int32(id)+1)
+			reported = true
+		}
+	}
+	if !reported {
+		id := randx.Pick(rng, all)
+		b.SetReport(id, int32(id)+1)
+	}
+	hasStart := false
+	for _, id := range stes {
+		if b.Start(id) != automata.StartNone {
+			hasStart = true
+			break
+		}
+	}
+	if !hasStart {
+		b.SetStart(randx.Pick(rng, stes), automata.StartAllInput)
+	}
+	return b.MustBuild()
+}
+
+// GenInput draws n symbols, mostly from the generator alphabet (so classes
+// actually match) with a sprinkle of arbitrary bytes to exercise the
+// no-match paths.
+func GenInput(rng *randx.Rand, cfg GenConfig, n int) []byte {
+	cfg = cfg.normalized()
+	out := make([]byte, n)
+	for i := range out {
+		if rng.Float64() < 0.9 {
+			out[i] = randx.Pick(rng, cfg.Alphabet)
+		} else {
+			out[i] = rng.Byte()
+		}
+	}
+	return out
+}
+
+// BitGenConfig parameterizes the bit-level generator.
+type BitGenConfig struct {
+	Patterns int // default 3
+	MaxBytes int // max pattern length in bytes (default 3)
+}
+
+func (c BitGenConfig) normalized() BitGenConfig {
+	if c.Patterns <= 0 {
+		c.Patterns = 3
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 3
+	}
+	return c
+}
+
+// GenerateBit builds a random byte-aligned bit automaton: each pattern is a
+// chain of whole-byte elements (masked byte matchers and width-w uint-range
+// fields funneled back to byte alignment with wildcard bits), reporting at
+// its byte-aligned tail with a unique code. It also returns one concrete
+// witness byte-string per pattern — an input guaranteed to match — so input
+// generation can embed real matches; purely random input almost never hits
+// a multi-byte masked pattern and would starve the oracle of reports.
+func GenerateBit(rng *randx.Rand, cfg BitGenConfig) (*bitnfa.Automaton, [][]byte) {
+	cfg = cfg.normalized()
+	a := bitnfa.New()
+	var witnesses [][]byte
+	for p := 0; p < cfg.Patterns; p++ {
+		nBytes := rng.IntRange(1, cfg.MaxBytes)
+		witness := make([]byte, 0, nBytes)
+		// First element is always a masked byte: AppendByte is the only
+		// constructor that plants the start state.
+		value := rng.Byte()
+		mask := rng.Byte() | rng.Byte() // ~75% care bits
+		tail := a.AppendByte(bitnfa.NoTail, value, mask, true)
+		witness = append(witness, value)
+		for i := 1; i < nBytes; i++ {
+			if rng.Intn(3) == 0 {
+				// Range field: w significant bits then 8-w wildcards.
+				w := uint(rng.IntRange(1, 7))
+				max := uint64(1)<<w - 1
+				lo := uint64(rng.Intn(int(max) + 1))
+				hi := lo + uint64(rng.Intn(int(max-lo)+1))
+				tails, err := a.AppendUintRange(tail, w, lo, hi)
+				if err != nil {
+					panic(err) // unreachable: width is in [1,7]
+				}
+				tail, err = a.AppendAnyBits(tails, 8-w)
+				if err != nil {
+					panic(err)
+				}
+				witness = append(witness, byte(lo<<(8-w)))
+			} else {
+				value = rng.Byte()
+				mask = rng.Byte() | rng.Byte()
+				tail = a.AppendByte(tail, value, mask, false)
+				witness = append(witness, value)
+			}
+		}
+		a.SetReport(tail, int32(p)+1)
+		witnesses = append(witnesses, witness)
+	}
+	return a, witnesses
+}
+
+// GenBitInput builds an input of random bytes with each witness spliced in
+// a few times at random offsets, so the bit oracle sees real matches.
+func GenBitInput(rng *randx.Rand, witnesses [][]byte, n int) []byte {
+	out := rng.Bytes(n)
+	for _, w := range witnesses {
+		if len(w) > n {
+			continue
+		}
+		for k := 0; k < 3; k++ {
+			copy(out[rng.Intn(n-len(w)+1):], w)
+		}
+	}
+	return out
+}
+
+// SimVsDFA runs input through sim and dfa and reports the first divergence
+// (nil if they agree). The automaton must be counter-free; dfa.New's
+// ErrCounters is passed through.
+func SimVsDFA(a *automata.Automaton, input []byte) (*Divergence, error) {
+	d, err := dfa.New(a)
+	if err != nil {
+		return nil, err
+	}
+	d.CollectReports = true
+	d.Run(input)
+	got := make([]Event, 0, len(d.Reports()))
+	for _, r := range d.Reports() {
+		got = append(got, Event{Offset: r.Offset, Code: r.Code})
+	}
+	return diffStreams("sim-dfa", simEvents(a, input), canon(got)), nil
+}
+
+// SimVsCompressed checks that prefix-merge preserves the exact report
+// multiset: sim on a vs sim on PrefixMerge(a), same input.
+func SimVsCompressed(a *automata.Automaton, input []byte) *Divergence {
+	m, _ := transform.PrefixMerge(a)
+	return diffStreams("sim-compressed", simEvents(a, input), simEvents(m, input))
+}
+
+// SimVsBitNFA checks 8-striding: the bit-level reference interpreter vs
+// sim executing the strided byte automaton. Stride8's mid-byte-report
+// error (non-byte-aligned pattern) is passed through; the generator never
+// produces such patterns.
+func SimVsBitNFA(ba *bitnfa.Automaton, input []byte) (*Divergence, error) {
+	strided, err := ba.Stride8()
+	if err != nil {
+		return nil, err
+	}
+	ref := make([]Event, 0, 8)
+	for _, oc := range ba.Simulate(input) {
+		ref = append(ref, Event{Offset: oc[0], Code: int32(oc[1])})
+	}
+	return diffStreams("sim-bitnfa", canon(ref), simEvents(strided, input)), nil
+}

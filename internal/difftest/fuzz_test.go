@@ -1,0 +1,105 @@
+package difftest
+
+import (
+	"testing"
+
+	"automatazoo/internal/randx"
+	"automatazoo/internal/regex"
+)
+
+// The fuzz targets wrap the differential oracles for go's native fuzzer.
+// Each takes a generator seed plus raw input bytes; the seed picks the
+// automaton, the bytes are mapped into the generator alphabet (fuzzers
+// mutate bytes blindly — left raw, almost nothing would ever match and the
+// oracle would compare empty streams). Seed corpora under testdata/fuzz/
+// execute on every plain `go test` run, so checked-in reproducers are
+// regression tests even when no -fuzz session is running.
+
+const maxFuzzInput = 4096
+
+// fuzzInput maps raw fuzz bytes into the generator alphabet, keeping a
+// fraction raw to exercise the no-match paths.
+func fuzzInput(raw []byte, cfg GenConfig) []byte {
+	cfg = cfg.normalized()
+	if len(raw) > maxFuzzInput {
+		raw = raw[:maxFuzzInput]
+	}
+	out := make([]byte, len(raw))
+	for i, b := range raw {
+		if b&0x0f < 13 {
+			out[i] = cfg.Alphabet[int(b)%len(cfg.Alphabet)]
+		} else {
+			out[i] = b
+		}
+	}
+	return out
+}
+
+func FuzzSimVsDFA(f *testing.F) {
+	f.Add(uint64(1), []byte("abcabcabab"))
+	f.Add(uint64(42), []byte("hhhhaaaahhhh"))
+	f.Fuzz(func(t *testing.T, seed uint64, raw []byte) {
+		cfg := GenConfig{}
+		a := Generate(randx.New(seed), cfg)
+		input := fuzzInput(raw, cfg)
+		d, err := SimVsDFA(a, input)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if d != nil {
+			t.Fatalf("seed %d: %s", seed, d.String())
+		}
+	})
+}
+
+func FuzzCompressPreservesReports(f *testing.F) {
+	f.Add(uint64(1), []byte("abcabcabab"))
+	// Shape that exposed the fireCounters nondeterminism: counter-bearing
+	// automata with chains, dense single-symbol input.
+	f.Add(uint64(7), []byte("aaaaaaaaaaaaaaaa"))
+	f.Fuzz(func(t *testing.T, seed uint64, raw []byte) {
+		cfg := GenConfig{Counters: 2 + int(seed%3)}
+		a := Generate(randx.New(seed), cfg)
+		input := fuzzInput(raw, cfg)
+		if d := SimVsCompressed(a, input); d != nil {
+			t.Fatalf("seed %d: %s", seed, d.String())
+		}
+	})
+}
+
+func FuzzRegexCompile(f *testing.F) {
+	f.Add("abc", []byte("xabcx"))
+	f.Add("a{2,5}b+", []byte("aaabbb"))
+	f.Add("[a-f]+c|de*", []byte("abcdef"))
+	f.Add("^(ab|cd){1,3}e", []byte("ababcde"))
+	f.Fuzz(func(t *testing.T, pattern string, input []byte) {
+		if len(pattern) > 256 {
+			return // parser is linear, but keep expansion bounded
+		}
+		r, err := regex.Compile(pattern, 0, 1)
+		if err != nil {
+			return // invalid pattern: rejection is the correct outcome
+		}
+		a := r.Automaton
+		if r.Positions != a.NumStates() {
+			t.Fatalf("pattern %q: Positions=%d but automaton has %d states",
+				pattern, r.Positions, a.NumStates())
+		}
+		if len(input) > maxFuzzInput {
+			input = input[:maxFuzzInput]
+		}
+		// Glushkov output is counter-free, so the sim-dfa oracle applies.
+		// The compressed pair deliberately does not: a pattern like "a|a"
+		// yields two reporting positions sharing one code, which
+		// prefix-merge collapses — match-set preserving, but not
+		// report-multiset preserving. Only unique-code automata (the
+		// generator's) get the multiset bar.
+		d, err := SimVsDFA(a, input)
+		if err != nil {
+			t.Fatalf("pattern %q: %v", pattern, err)
+		}
+		if d != nil {
+			t.Fatalf("pattern %q: %s", pattern, d.String())
+		}
+	})
+}

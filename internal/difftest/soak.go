@@ -1,0 +1,138 @@
+package difftest
+
+import (
+	"automatazoo/internal/randx"
+)
+
+// Pair names for SoakConfig.Pairs and Divergence.Pair.
+const (
+	PairSimDFA        = "sim-dfa"
+	PairSimCompressed = "sim-compressed"
+	PairSimBitNFA     = "sim-bitnfa"
+)
+
+// AllPairs lists every oracle pair in canonical order.
+var AllPairs = []string{PairSimDFA, PairSimCompressed, PairSimBitNFA}
+
+// SoakConfig parameterizes a soak run.
+type SoakConfig struct {
+	Seeds    int      // number of independent trials (default 100)
+	States   int      // STE count per generated automaton (default 12)
+	InputLen int      // input length per trial (default 512)
+	Seed     uint64   // base seed; trial i uses Seed+i
+	Pairs    []string // subset of AllPairs; nil = all
+}
+
+// PairStat summarizes one oracle pair's coverage across a soak.
+type PairStat struct {
+	Runs    int   `json:"runs"`    // oracle invocations
+	Reports int64 `json:"reports"` // reference-stream events compared
+}
+
+// SoakResult is the JSON-serializable outcome of a soak run.
+type SoakResult struct {
+	Seeds       int                 `json:"seeds"`
+	BaseSeed    uint64              `json:"base_seed"`
+	Pairs       map[string]PairStat `json:"pairs"`
+	Divergences []Divergence        `json:"divergences"`
+}
+
+// Ok reports whether the soak found no divergences.
+func (r SoakResult) Ok() bool { return len(r.Divergences) == 0 }
+
+// Soak runs cfg.Seeds independent trials. Each trial derives everything
+// from randx.New(cfg.Seed + i), so any divergence reproduces from the seed
+// recorded on it. Per trial:
+//
+//   - a counter-free automaton is checked sim-vs-dfa and sim-vs-compressed;
+//   - a counter-bearing automaton (including counter→counter chains, per
+//     the generator's uniform edge targets) is checked sim-vs-compressed —
+//     dfa cannot execute counters, so that pair is excluded by type, and
+//     prefix-merge must leave counter behavior untouched;
+//   - a bit-level automaton is checked sim-vs-bitnfa (reference bit
+//     interpreter vs the 8-strided byte automaton under sim).
+//
+// Trials run sequentially: determinism is the point, and the whole default
+// soak is sub-second.
+func Soak(cfg SoakConfig) SoakResult {
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 100
+	}
+	if cfg.InputLen <= 0 {
+		cfg.InputLen = 512
+	}
+	pairs := cfg.Pairs
+	if len(pairs) == 0 {
+		pairs = AllPairs
+	}
+	want := map[string]bool{}
+	for _, p := range pairs {
+		want[p] = true
+	}
+
+	res := SoakResult{
+		Seeds:    cfg.Seeds,
+		BaseSeed: cfg.Seed,
+		Pairs:    map[string]PairStat{},
+	}
+	record := func(pair string, seed uint64, refEvents int, d *Divergence) {
+		st := res.Pairs[pair]
+		st.Runs++
+		st.Reports += int64(refEvents)
+		res.Pairs[pair] = st
+		if d != nil {
+			d.Seed = seed
+			res.Divergences = append(res.Divergences, *d)
+		}
+	}
+
+	for i := 0; i < cfg.Seeds; i++ {
+		seed := cfg.Seed + uint64(i)
+		rng := randx.New(seed)
+
+		if want[PairSimDFA] || want[PairSimCompressed] {
+			cfgFree := GenConfig{States: cfg.States}
+			a := Generate(rng.Fork(), cfgFree)
+			input := GenInput(rng.Fork(), cfgFree, cfg.InputLen)
+			ref := simEvents(a, input)
+			if want[PairSimDFA] {
+				d, err := SimVsDFA(a, input)
+				if err != nil {
+					// Counter-free by construction; an error here is a bug.
+					record(PairSimDFA, seed, len(ref), &Divergence{
+						Pair: PairSimDFA, Offset: -1, Detail: "dfa.New: " + err.Error(),
+					})
+				} else {
+					record(PairSimDFA, seed, len(ref), d)
+				}
+			}
+			if want[PairSimCompressed] {
+				record(PairSimCompressed, seed, len(ref), SimVsCompressed(a, input))
+			}
+		}
+
+		if want[PairSimCompressed] {
+			cfgCtr := GenConfig{States: cfg.States, Counters: 2 + i%3}
+			a := Generate(rng.Fork(), cfgCtr)
+			input := GenInput(rng.Fork(), cfgCtr, cfg.InputLen)
+			record(PairSimCompressed, seed, len(simEvents(a, input)), SimVsCompressed(a, input))
+		}
+
+		if want[PairSimBitNFA] {
+			ba, witnesses := GenerateBit(rng.Fork(), BitGenConfig{})
+			input := GenBitInput(rng.Fork(), witnesses, min(cfg.InputLen, 256))
+			d, err := SimVsBitNFA(ba, input)
+			refEvents := len(ba.Simulate(input))
+			if err != nil {
+				// The generator only emits byte-aligned patterns; a
+				// mid-byte-report error is itself a divergence.
+				record(PairSimBitNFA, seed, refEvents, &Divergence{
+					Pair: PairSimBitNFA, Offset: -1, Detail: "Stride8: " + err.Error(),
+				})
+			} else {
+				record(PairSimBitNFA, seed, refEvents, d)
+			}
+		}
+	}
+	return res
+}

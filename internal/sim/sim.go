@@ -23,6 +23,8 @@
 package sim
 
 import (
+	"slices"
+
 	"automatazoo/internal/automata"
 	"automatazoo/internal/charset"
 	"automatazoo/internal/telemetry"
@@ -48,7 +50,9 @@ type Stats struct {
 	// Active is the summed count of states that matched per symbol,
 	// including start states. Active/Symbols is the paper's "active set".
 	Active int64
-	// CounterPulses counts counter increment events.
+	// CounterPulses counts count-enable deliveries, coalesced to at most
+	// one per counter per cycle; same-cycle chained counter-to-counter
+	// fires are included.
 	CounterPulses int64
 	// Reports counts emitted reports.
 	Reports int64
@@ -105,11 +109,18 @@ type Engine struct {
 	amark    []uint32
 	gen      uint32
 
-	// Counter runtime state.
-	counterVal    map[automata.StateID]uint32
-	counterCfg    map[automata.StateID]automata.Counter
-	counterPulsed map[automata.StateID]bool // pulsed this cycle (dedupe)
-	latched       map[automata.StateID]bool
+	// Counter runtime state. pulsed is the dense, deterministically
+	// ordered list of counters that received a count-enable this cycle;
+	// pulseMark[id] dedupes deliveries (a counter's count-enable input is
+	// a single wire: at most one increment per counter per cycle, no
+	// matter how many predecessors pulse it or chained counters fire into
+	// it). A map here would make multi-counter resolution follow Go's
+	// randomized iteration order — see fireCounters.
+	counterVal map[automata.StateID]uint32
+	counterCfg map[automata.StateID]automata.Counter
+	pulsed     []automata.StateID
+	pulseMark  []bool // allocated only when the automaton has counters
+	latched    map[automata.StateID]bool
 
 	offset int64
 
@@ -167,19 +178,21 @@ func New(a *automata.Automaton) *Engine {
 func NewWithOptions(a *automata.Automaton, opts Options) *Engine {
 	n := a.NumStates()
 	e := &Engine{
-		a:             a,
-		sets:          a.Table().Sets(),
-		css:           make([]charset.Handle, n),
-		succ:          make([][]automata.StateID, n),
-		isCounter:     make([]bool, n),
-		isReport:      make([]bool, n),
-		code:          make([]int32, n),
-		mark:          make([]uint32, n),
-		amark:         make([]uint32, n),
-		counterVal:    map[automata.StateID]uint32{},
-		counterCfg:    map[automata.StateID]automata.Counter{},
-		counterPulsed: map[automata.StateID]bool{},
-		latched:       map[automata.StateID]bool{},
+		a:          a,
+		sets:       a.Table().Sets(),
+		css:        make([]charset.Handle, n),
+		succ:       make([][]automata.StateID, n),
+		isCounter:  make([]bool, n),
+		isReport:   make([]bool, n),
+		code:       make([]int32, n),
+		mark:       make([]uint32, n),
+		amark:      make([]uint32, n),
+		counterVal: map[automata.StateID]uint32{},
+		counterCfg: map[automata.StateID]automata.Counter{},
+		latched:    map[automata.StateID]bool{},
+	}
+	if a.NumCounters() > 0 {
+		e.pulseMark = make([]bool, n)
 	}
 	for i := 0; i < n; i++ {
 		id := automata.StateID(i)
@@ -295,6 +308,12 @@ func (e *Engine) Reset() {
 	}
 	e.frontier = e.frontier[:0]
 	e.next = e.next[:0]
+	// One bump suffices for EnableState's mark[id] == gen-1 dedupe to stay
+	// sound: marks are only ever written with the in-Step generation (or
+	// gen-1 by EnableState itself), and Step bumps gen after writing, so
+	// every stale mark is <= gen-2 here — a state enabled in the final
+	// cycle of the previous run CAN be re-armed immediately after Reset
+	// (pinned by TestEnableStateAfterReset).
 	e.gen++
 	if e.gen < 2 { // wrapped (or first use): clear marks, keep gen >= 2
 		for i := range e.mark {
@@ -304,7 +323,10 @@ func (e *Engine) Reset() {
 		e.gen = 2
 	}
 	clear(e.counterVal)
-	clear(e.counterPulsed)
+	for _, id := range e.pulsed {
+		e.pulseMark[id] = false
+	}
+	e.pulsed = e.pulsed[:0]
 	clear(e.latched)
 	e.offset = 0
 	e.stats = Stats{}
@@ -411,22 +433,43 @@ func (e *Engine) activateTelemetry(id automata.StateID) {
 // pulse delivers a count-enable to a counter (at most one increment per
 // counter per cycle, per the AP model).
 func (e *Engine) pulse(id automata.StateID) {
-	if e.counterPulsed[id] {
+	if e.pulseMark[id] {
 		return
 	}
-	e.counterPulsed[id] = true
+	e.pulseMark[id] = true
+	e.pulsed = append(e.pulsed, id)
 	e.stats.CounterPulses++
 }
 
 // fireCounters resolves end-of-cycle counter increments.
+//
+// Semantics (pinned by TestChainedCounter* and the difftest oracle): a
+// counter's count-enable input is a single wire, so it receives at most one
+// increment per cycle — STE pulses and same-cycle chained fires from other
+// counters all coalesce into that one increment. Resolution seeds from the
+// pulsed set in ascending element-ID order and cascades FIFO: a counter
+// reaching its target fires (reports, enables STE successors for the next
+// symbol) and delivers a same-cycle count-enable to its counter successors,
+// which obey the one-increment rule, the latch, and their own thresholds.
+// The coalescing rule makes the outcome independent of resolution order
+// (and bounds the cascade: each counter is processed at most once per
+// cycle); the sorted seed makes the report sequence canonical.
+//
+// The previous implementation iterated a Go map — counter-to-counter
+// chains resolved in randomized map order, so multi-counter automata
+// reported nondeterministically run-to-run — and applied chained
+// increments as a raw counterVal[t]++, bypassing the latch and the target
+// comparison of the chained-into counter.
 func (e *Engine) fireCounters() {
-	if len(e.counterPulsed) == 0 {
+	if len(e.pulsed) == 0 {
 		return
 	}
-	for id := range e.counterPulsed {
-		delete(e.counterPulsed, id)
+	queue := e.pulsed
+	slices.Sort(queue)
+	for i := 0; i < len(queue); i++ {
+		id := queue[i]
 		if e.latched[id] {
-			continue
+			continue // a latched counter ignores count-enables until Reset
 		}
 		cfg := e.counterCfg[id]
 		v := e.counterVal[id] + 1
@@ -440,9 +483,11 @@ func (e *Engine) fireCounters() {
 		}
 		for _, t := range e.succ[id] {
 			if e.isCounter[t] {
-				// Counter-to-counter chaining: treat as an immediate pulse
-				// next cycle is not modeled; chain fires in the same cycle.
-				e.counterVal[t]++
+				if !e.pulseMark[t] {
+					e.pulseMark[t] = true
+					e.stats.CounterPulses++
+					queue = append(queue, t)
+				}
 			} else {
 				e.enable(t)
 			}
@@ -454,6 +499,10 @@ func (e *Engine) fireCounters() {
 			e.counterVal[id] = cfg.Target
 		}
 	}
+	for _, id := range queue {
+		e.pulseMark[id] = false
+	}
+	e.pulsed = queue[:0]
 }
 
 // Step consumes one input symbol.
@@ -501,6 +550,14 @@ func (e *Engine) Step(b byte) {
 			e.amark[i] = 0
 		}
 		e.gen = 2
+		// Re-mark the live frontier: its states were marked with the
+		// pre-wrap generation, and EnableState dedupes against mark[id] ==
+		// gen-1. Without this, re-arming a state already on the frontier
+		// right after a wrap appends a duplicate (double-counted in
+		// Enabled); see TestEnableStateDedupeAcrossGenerationWrap.
+		for _, s := range e.frontier {
+			e.mark[s] = e.gen - 1
+		}
 	}
 	e.offset++
 }
