@@ -14,9 +14,9 @@ NEW ?=
 # plain `go test`; this budget buys mutation time on top.
 FUZZTIME ?= 10s
 
-.PHONY: ci build vet fmt-check test race race-parallel allocguard fuzz-short difftest-soak bench bench-engines bench-parallel bench-snapshot benchdiff clean
+.PHONY: ci build vet fmt-check test race race-parallel allocguard fuzz-short fault-soak difftest-soak bench bench-engines bench-parallel bench-snapshot benchdiff clean
 
-ci: vet fmt-check build test race-parallel race allocguard fuzz-short
+ci: vet fmt-check build test race-parallel race allocguard fuzz-short fault-soak
 
 build:
 	$(GO) build ./...
@@ -42,7 +42,7 @@ race:
 # registry, and the parallel stats harness. `race` covers these too;
 # this target fails fast and stays cheap enough to run on every change.
 race-parallel:
-	$(GO) test -race -count=1 ./internal/parallel/ ./internal/telemetry/
+	$(GO) test -race -count=1 ./internal/parallel/ ./internal/telemetry/ ./internal/guard/
 	$(GO) test -race -count=1 -run 'Parallel' ./internal/partition/ ./internal/stats/
 
 # Guard the disabled-telemetry fast path: sim.Engine.Run must stay
@@ -57,6 +57,15 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz 'FuzzSimVsDFA' -fuzztime $(FUZZTIME) ./internal/difftest/
 	$(GO) test -run '^$$' -fuzz 'FuzzCompressPreservesReports' -fuzztime $(FUZZTIME) ./internal/difftest/
 	$(GO) test -run '^$$' -fuzz 'FuzzRegexCompile' -fuzztime $(FUZZTIME) ./internal/difftest/
+	$(GO) test -run '^$$' -fuzz 'FuzzMNRLLoad' -fuzztime $(FUZZTIME) ./internal/mnrl/
+
+# Resilience acceptance gate: 200 seeded fault-injection trials (every
+# injected panic/deadline/trip must surface as a structured error with the
+# same class at -j 1 and -j NumCPU; un-faulted controls byte-identical),
+# then a forced DFA→NFA degradation soak through the differential oracle.
+fault-soak:
+	AZOO_SOAK_SEEDS=200 $(GO) test -run 'TestFaultSoak' -count=1 ./internal/guard/
+	$(GO) run ./cmd/azoo difftest -seeds 200 -pair sim-dfa -force-fallback
 
 # Long cross-engine soak (the acceptance gate for engine changes):
 # 500 seeded trials through every comparable engine pair.

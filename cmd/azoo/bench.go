@@ -83,11 +83,11 @@ func cmdBenchDiff(args []string) error {
 	fs.Parse(args)
 	paths = append(paths, fs.Args()...)
 	if len(paths) != 2 {
-		return fmt.Errorf("benchdiff: want exactly two manifests (azoo benchdiff old.json new.json), got %d", len(paths))
+		return usageErrorf("benchdiff: want exactly two manifests (azoo benchdiff old.json new.json), got %d", len(paths))
 	}
 	th, err := report.ParseThreshold(*threshold)
 	if err != nil {
-		return err
+		return usageErrorf("%v", err)
 	}
 	oldM, err := report.ReadFile(paths[0])
 	if err != nil {
@@ -102,7 +102,7 @@ func cmdBenchDiff(args []string) error {
 		return err
 	}
 	if d.HasRegressions() {
-		return fmt.Errorf("benchdiff: %d kernel(s) regressed beyond %s", len(d.Regressions), *threshold)
+		return regressionError{n: len(d.Regressions), threshold: *threshold}
 	}
 	return nil
 }

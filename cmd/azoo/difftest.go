@@ -23,14 +23,16 @@ func cmdDifftest(args []string) error {
 	inputLen := fs.Int("input", 512, "input bytes per trial")
 	seed := fs.Uint64("seed", 1, "base seed (trial i uses seed+i)")
 	pair := fs.String("pair", "", "restrict to one pair: sim-dfa, sim-compressed, or sim-bitnfa (default all)")
+	forceFallback := fs.Bool("force-fallback", false, "run the sim-dfa pair with every DFA component degraded to NFA stepping (pins the graceful-degradation contract)")
 	jsonOut := fs.Bool("json", false, "write the JSON soak report to stdout")
 	fs.Parse(args)
 
 	cfg := difftest.SoakConfig{
-		Seeds:    *seeds,
-		States:   *states,
-		InputLen: *inputLen,
-		Seed:     *seed,
+		Seeds:            *seeds,
+		States:           *states,
+		InputLen:         *inputLen,
+		Seed:             *seed,
+		ForceDFAFallback: *forceFallback,
 	}
 	if *pair != "" {
 		valid := false
@@ -41,7 +43,7 @@ func cmdDifftest(args []string) error {
 			}
 		}
 		if !valid {
-			return fmt.Errorf("unknown pair %q (want one of %s)", *pair, strings.Join(difftest.AllPairs, ", "))
+			return usageErrorf("unknown pair %q (want one of %s)", *pair, strings.Join(difftest.AllPairs, ", "))
 		}
 		cfg.Pairs = []string{*pair}
 	}
@@ -68,7 +70,7 @@ func cmdDifftest(args []string) error {
 		}
 	}
 	if !res.Ok() {
-		return fmt.Errorf("%d divergence(s) found", len(res.Divergences))
+		return divergenceError{n: len(res.Divergences)}
 	}
 	if !*jsonOut {
 		fmt.Println("  all engine pairs agree")

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 
 	"automatazoo/internal/automata"
 	"automatazoo/internal/core"
@@ -53,9 +54,23 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run dispatches the command and maps its error to an exit code (see
+// cmd/azoo/guard.go for the table). A panic that escapes a command is
+// caught here — reported with its stack, exit 1 — so no input or fault
+// ever kills the process without a diagnosis.
+func run() (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "azoo: panic: %v\n%s", r, debug.Stack())
+			code = exitRuntime
+		}
+	}()
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(2)
+		return exitUsage
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
@@ -94,12 +109,13 @@ func main() {
 		err = cmdVersion()
 	default:
 		usage()
-		os.Exit(2)
+		return exitUsage
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "azoo:", err)
-		os.Exit(1)
+		return exitCode(err)
 	}
+	return exitOK
 }
 
 func usage() {
@@ -180,6 +196,7 @@ func cmdRun(args []string) error {
 	engine := fs.String("engine", "nfa", "engine: nfa (VASim-like) or dfa (Hyperscan-like)")
 	workers := workersFlag(fs)
 	tf := telemetryFlags(fs)
+	gf := governorFlags(fs)
 	fs.Parse(args)
 	b, err := resolveBenchmark(*name)
 	if err != nil {
@@ -187,6 +204,9 @@ func cmdRun(args []string) error {
 	}
 	sess, err := tf.session()
 	if err != nil {
+		return err
+	}
+	if err := armGovernor(sess, gf); err != nil {
 		return err
 	}
 	cfg := core.Config{Scale: *scale, InputBytes: *input, Seed: *seed}
@@ -205,14 +225,17 @@ func cmdRun(args []string) error {
 		// (asserted suite-wide by TestRunOutputByteIdenticalAcrossWorkers).
 		var dyn stats.Dynamic
 		if *workers == 1 {
-			dyn = stats.ObserveSegments(a, segs, sess.registry(), sess.ndjson())
+			dyn, err = stats.ObserveSegmentsGoverned(a, segs, sess.registry(), sess.ndjson(), sess.governor())
 		} else {
-			dyn, err = stats.ObserveSegmentsParallel(context.Background(), a, segs, *workers, sess.registry(), sess.ndjson())
-			if err != nil {
-				return err
-			}
+			dyn, err = stats.ObserveSegmentsParallelGoverned(context.Background(), a, segs, *workers, sess.registry(), sess.ndjson(), sess.governor())
 		}
 		ssp.End()
+		if err != nil {
+			// A governor trip still records the partial work in the manifest.
+			row.Symbols, row.Reports = dyn.Symbols, dyn.Reports
+			sess.setReport("run", *workers, suiteConfig(*scale, *input, *seed), []report.KernelRow{row})
+			return sess.closeTruncated(err)
+		}
 		row.Symbols, row.Reports = dyn.Symbols, dyn.Reports
 		row.Extra = map[string]float64{"active_set": dyn.ActiveSet, "report_rate": dyn.ReportRate}
 		fmt.Printf("%s: %d states, %d symbols, %d reports (%.6f/sym), active set %.2f\n",
@@ -226,10 +249,12 @@ func cmdRun(args []string) error {
 		} else {
 			symbols, reports, st, err = runDFAParallel(a, segs, *workers, sess)
 		}
-		if err != nil {
-			return err
-		}
 		ssp.End()
+		if err != nil {
+			row.Symbols, row.Reports = symbols, reports
+			sess.setReport("run", *workers, suiteConfig(*scale, *input, *seed), []report.KernelRow{row})
+			return sess.closeTruncated(err)
+		}
 		row.Symbols, row.Reports = symbols, reports
 		row.HasCache, row.CacheHitRate, row.CacheEvictRate = true, st.HitRate(), st.EvictionRate()
 		fmt.Printf("%s: %d states, %d symbols, %d reports, %d DFA states, %d fallbacks\n",
@@ -237,7 +262,7 @@ func cmdRun(args []string) error {
 		fmt.Printf("transition cache: %.2f%% hit rate, %.4f evictions/lookup\n",
 			st.HitRate()*100, st.EvictionRate())
 	default:
-		return fmt.Errorf("unknown engine %q", *engine)
+		return usageErrorf("unknown engine %q", *engine)
 	}
 	sess.setReport("run", *workers, suiteConfig(*scale, *input, *seed), []report.KernelRow{row})
 	return sess.Close()
@@ -262,11 +287,15 @@ func runDFAWhole(a *automata.Automaton, segs [][]byte, sess *obsSession) (symbol
 	e.SetRegistry(sess.registry())
 	e.SetTracer(sess.ndjson())
 	e.SetSpans(sess.spanSet())
+	e.SetGovernor(sess.governor())
 	for _, seg := range segs {
 		e.Reset()
-		s := e.Run(seg)
+		s, err := e.RunChecked(seg)
 		symbols += s.Symbols
 		reports += s.Reports
+		if err != nil {
+			return symbols, reports, e.Stats(), err
+		}
 	}
 	return symbols, reports, e.Stats(), nil
 }
@@ -305,18 +334,33 @@ func runDFAParallel(a *automata.Automaton, segs [][]byte, workers int, sess *obs
 		if sliceSpans != nil {
 			e.SetSpans(sliceSpans[i])
 		}
+		e.SetGovernor(sess.governor())
+		// Stats are captured even when a governor trip stops the slice
+		// mid-stream, so a truncated manifest still describes partial work.
+		defer func() { perSlice[i] = e.Stats() }()
 		for _, seg := range segs {
 			e.Reset() // clears per-run Symbols/Reports; cache counters persist
-			sliceReports[i] += e.Run(seg).Reports
+			st, err := e.RunChecked(seg)
+			sliceReports[i] += st.Reports
+			if err != nil {
+				return err
+			}
 		}
-		perSlice[i] = e.Stats()
 		return nil
 	})
-	if err != nil {
-		return 0, 0, dfa.Stats{}, err
-	}
 	for i := range sliceSpans {
 		sess.spanSet().Adopt(sliceSpans[i])
+	}
+	if err != nil {
+		// Truncated: report the furthest stream position any slice reached,
+		// not the full stream length.
+		for i, st := range perSlice {
+			reports += sliceReports[i]
+			if st.Symbols > symbols {
+				symbols = st.Symbols
+			}
+		}
+		return symbols, reports, agg, err
 	}
 	for _, seg := range segs {
 		symbols += int64(len(seg)) // stream symbols, not per-slice engine work
@@ -339,15 +383,20 @@ func cmdTable1(args []string) error {
 	compress := fs.Bool("compress", false, "also run prefix-merge compression (slow at large scales)")
 	workers := workersFlag(fs)
 	tf := telemetryFlags(fs)
+	gf := governorFlags(fs)
 	fs.Parse(args)
 	sess, err := tf.session()
 	if err != nil {
 		return err
 	}
+	if err := armGovernor(sess, gf); err != nil {
+		return err
+	}
 	cfg := core.Config{Scale: *scale, InputBytes: *input, Seed: *seed}
 	rows, err := experiments.TableIParallel(context.Background(), cfg, *compress, *workers, sess.observer())
 	if err != nil {
-		return err
+		sess.setReport("table1", *workers, suiteConfig(*scale, *input, *seed), nil)
+		return sess.closeTruncated(err)
 	}
 	fmt.Printf("Table I (scale %.3f, input %d bytes)\n", *scale, *input)
 	fmt.Println(stats.Header())
@@ -375,14 +424,20 @@ func cmdTable2(args []string) error {
 	seed := fs.Uint64("seed", 7, "seed")
 	workers := workersFlag(fs)
 	tf := telemetryFlags(fs)
+	gf := governorFlags(fs)
 	fs.Parse(args)
 	sess, err := tf.session()
 	if err != nil {
 		return err
 	}
+	if err := armGovernor(sess, gf); err != nil {
+		return err
+	}
 	rows, err := experiments.TableIIParallel(context.Background(), *samples, *seed, *workers, sess.observer())
 	if err != nil {
-		return err
+		sess.setReport("table2", *workers,
+			map[string]string{"samples": fmt.Sprintf("%d", *samples), "seed": fmt.Sprintf("%#x", *seed)}, nil)
+		return sess.closeTruncated(err)
 	}
 	fmt.Println("Table II: Random Forest benchmark variant trade-offs")
 	fmt.Printf("%-8s %9s %11s %9s %9s %8s\n",
@@ -412,14 +467,22 @@ func cmdTable3(args []string) error {
 	seed := fs.Uint64("seed", 3, "seed")
 	workers := workersFlag(fs)
 	tf := telemetryFlags(fs)
+	gf := governorFlags(fs)
 	fs.Parse(args)
 	sess, err := tf.session()
 	if err != nil {
 		return err
 	}
+	if err := armGovernor(sess, gf); err != nil {
+		return err
+	}
 	rows, err := experiments.TableIIIParallel(context.Background(), *filters, *itemsets, *seed, *workers, sess.observer())
 	if err != nil {
-		return err
+		sess.setReport("table3", *workers, map[string]string{
+			"filters": fmt.Sprintf("%d", *filters), "itemsets": fmt.Sprintf("%d", *itemsets),
+			"seed": fmt.Sprintf("%#x", *seed),
+		}, nil)
+		return sess.closeTruncated(err)
 	}
 	fmt.Println("Table III: impact of AP-specific padding on CPU engines")
 	fmt.Printf("%-28s %10s %12s %10s %9s %9s\n",
@@ -431,8 +494,9 @@ func cmdTable3(args []string) error {
 			hit = fmt.Sprintf("%.2f%%", r.CacheHitRate*100)
 			evict = fmt.Sprintf("%.4f", r.CacheEvictRate)
 		}
-		fmt.Printf("%-28s %9.3fs %11.3fs %9.1f%% %9s %9s\n",
-			r.Engine, r.PlainSec, r.PaddedSec, r.OverheadPct, hit, evict)
+		fmt.Printf("%-28s %9.3fs %11.3fs %9.1f%% %9s %9s%s\n",
+			r.Engine, r.PlainSec, r.PaddedSec, r.OverheadPct, hit, evict,
+			degradedMark(r.Fallbacks))
 		krows[i] = report.KernelRow{
 			Name: r.Engine, HasCache: r.HasCache,
 			CacheHitRate: r.CacheHitRate, CacheEvictRate: r.CacheEvictRate,
@@ -441,6 +505,9 @@ func cmdTable3(args []string) error {
 				"padded_sec":   r.PaddedSec,
 				"overhead_pct": r.OverheadPct,
 			},
+		}
+		if r.Fallbacks > 0 {
+			krows[i].Extra["fallbacks"] = float64(r.Fallbacks)
 		}
 	}
 	sess.setReport("table3", *workers, map[string]string{
@@ -456,14 +523,20 @@ func cmdTable4(args []string) error {
 	seed := fs.Uint64("seed", 5, "seed")
 	workers := workersFlag(fs)
 	tf := telemetryFlags(fs)
+	gf := governorFlags(fs)
 	fs.Parse(args)
 	sess, err := tf.session()
 	if err != nil {
 		return err
 	}
+	if err := armGovernor(sess, gf); err != nil {
+		return err
+	}
 	rows, err := experiments.TableIVParallel(context.Background(), *samples, *seed, *workers, sess.observer())
 	if err != nil {
-		return err
+		sess.setReport("table4", *workers,
+			map[string]string{"samples": fmt.Sprintf("%d", *samples), "seed": fmt.Sprintf("%#x", *seed)}, nil)
+		return sess.closeTruncated(err)
 	}
 	fmt.Println("Table IV: Random Forest classification throughput")
 	fmt.Printf("%-34s %16s %10s %9s %9s\n", "Engine", "kClass/sec", "Relative", "CacheHit", "Evict/Lk")
@@ -474,12 +547,16 @@ func cmdTable4(args []string) error {
 			hit = fmt.Sprintf("%.2f%%", r.CacheHitRate*100)
 			evict = fmt.Sprintf("%.4f", r.CacheEvictRate)
 		}
-		fmt.Printf("%-34s %16.1f %9.1fx %9s %9s\n", r.Engine, r.KClassPerSec, r.Relative, hit, evict)
+		fmt.Printf("%-34s %16.1f %9.1fx %9s %9s%s\n", r.Engine, r.KClassPerSec, r.Relative, hit, evict,
+			degradedMark(r.Fallbacks))
 		tp := report.AggregateOf([]float64{r.KClassPerSec})
 		krows[i] = report.KernelRow{
 			Name: r.Engine, Unit: "kClass/s", Throughput: &tp,
 			HasCache: r.HasCache, CacheHitRate: r.CacheHitRate, CacheEvictRate: r.CacheEvictRate,
 			Extra: map[string]float64{"relative": r.Relative},
+		}
+		if r.Fallbacks > 0 {
+			krows[i].Extra["fallbacks"] = float64(r.Fallbacks)
 		}
 	}
 	sess.setReport("table4", *workers,
@@ -546,7 +623,7 @@ func cmdExport(args []string) error {
 	case "dot":
 		return a.WriteDot(w, b.Name)
 	default:
-		return fmt.Errorf("unknown format %q", *format)
+		return usageErrorf("unknown format %q", *format)
 	}
 }
 
@@ -573,7 +650,7 @@ func cmdPartition(args []string) error {
 	case "reapr":
 		m = spatial.REAPR()
 	default:
-		return fmt.Errorf("unknown device %q", *device)
+		return usageErrorf("unknown device %q", *device)
 	}
 	plan, err := partition.Partition(a, m.StateCapacity)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"automatazoo/internal/experiments"
+	"automatazoo/internal/guard"
 	"automatazoo/internal/report"
 	"automatazoo/internal/telemetry"
 )
@@ -42,6 +43,7 @@ type obsSession struct {
 	reg         *telemetry.Registry
 	tracer      *telemetry.NDJSON
 	spans       *telemetry.Spans
+	gov         *guard.Governor
 	metricsPath string
 	reportPath  string
 
@@ -50,6 +52,11 @@ type obsSession struct {
 	workers int
 	suite   map[string]string
 	rows    []report.KernelRow
+
+	// Truncation verdict (setTruncated): the manifest is still written,
+	// flagged, with whatever rows/spans/metrics the run produced.
+	truncated     bool
+	trippedBudget string
 }
 
 // session materializes the flags. The registry exists whenever any
@@ -79,12 +86,28 @@ func (tf *telFlags) session() (*obsSession, error) {
 	return s, nil
 }
 
-// observer adapts the session for the experiments package.
-func (s *obsSession) observer() *experiments.Observer {
-	if s == nil || (s.reg == nil && s.tracer == nil && s.spans == nil) {
+// setGovernor attaches a run governor to the session; the observer and
+// the run command's engines pick it up from here.
+func (s *obsSession) setGovernor(g *guard.Governor) {
+	if s != nil {
+		s.gov = g
+	}
+}
+
+// governor returns the session's run governor (nil when unbounded).
+func (s *obsSession) governor() *guard.Governor {
+	if s == nil {
 		return nil
 	}
-	o := &experiments.Observer{Registry: s.reg, Spans: s.spans}
+	return s.gov
+}
+
+// observer adapts the session for the experiments package.
+func (s *obsSession) observer() *experiments.Observer {
+	if s == nil || (s.reg == nil && s.tracer == nil && s.spans == nil && s.gov == nil) {
+		return nil
+	}
+	o := &experiments.Observer{Registry: s.reg, Spans: s.spans, Governor: s.gov}
 	if s.tracer != nil {
 		o.Tracer = s.tracer
 	}
@@ -107,6 +130,32 @@ func (s *obsSession) setReport(command string, workers int, suite map[string]str
 		return
 	}
 	s.command, s.workers, s.suite, s.rows = command, workers, suite, rows
+}
+
+// setTruncated flags the manifest as governor-truncated. A truncated run
+// still writes a valid manifest — partial rows, phase spans, and metrics
+// included — so the artifact records how far the run got and why it
+// stopped.
+func (s *obsSession) setTruncated(trip *guard.TripError) {
+	if s == nil || trip == nil {
+		return
+	}
+	s.truncated = true
+	s.trippedBudget = trip.Budget
+}
+
+// closeTruncated finishes a command whose experiment returned err under a
+// governor: a budget trip is recorded on the manifest and the session is
+// closed (writing the flagged manifest) before the error propagates to
+// main's exit-code mapping. Non-trip errors pass through untouched.
+func (s *obsSession) closeTruncated(err error) error {
+	if trip := guard.AsTrip(err); trip != nil {
+		s.setTruncated(trip)
+		if cerr := s.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "azoo:", cerr)
+		}
+	}
+	return err
 }
 
 // registry returns the session registry (nil when telemetry is off).
@@ -162,6 +211,8 @@ func (s *obsSession) Close() error {
 			Suite:         s.suite,
 			Kernels:       s.rows,
 			Spans:         s.spans.Snapshot(),
+			Truncated:     s.truncated,
+			TrippedBudget: s.trippedBudget,
 		}
 		if s.reg != nil {
 			snap := s.reg.Snapshot()

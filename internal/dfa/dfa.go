@@ -22,6 +22,7 @@ import (
 
 	"automatazoo/internal/automata"
 	"automatazoo/internal/charset"
+	"automatazoo/internal/guard"
 	"automatazoo/internal/telemetry"
 )
 
@@ -49,6 +50,16 @@ type Stats struct {
 	// ConstructNanos is cumulative wall time spent in subset construction
 	// (the cache-miss path).
 	ConstructNanos int64
+
+	// FallbackBytes counts input symbols processed via the NFA-fallback
+	// path (one per degraded component per byte) — the extent of the
+	// stream that ran degraded. Accumulates across Resets like the cache
+	// counters.
+	FallbackBytes int64
+	// CacheBytes estimates the bytes currently held by interned DFA
+	// states (the quantity bounded by Options.MaxCacheBytes and the
+	// governor's cache-byte budget). It is a level, not a cumulator.
+	CacheBytes int64
 }
 
 // ReportRate returns reports per symbol.
@@ -102,6 +113,19 @@ type component struct {
 	index    map[string]uint32
 	overflow bool // budget exceeded: component runs in NFA-fallback mode
 	budget   int
+	bytes    int64 // modeled bytes held by this component's dstates
+
+	// freeBytes marks a byte-budget/thrash/forced degradation: the
+	// interned dstates are released once the fallback frontier is seeded.
+	// The legacy state-count overflow keeps them (DFAStates in existing
+	// output must not change).
+	freeBytes bool
+
+	// Thrash-detection window (only tracked when Options.ThrashMissRate
+	// is set): transition-cache lookups and misses since the last window
+	// reset.
+	winLookups int32
+	winMisses  int32
 
 	// NFA-fallback runtime (only used when overflow).
 	frontier []automata.StateID
@@ -116,6 +140,10 @@ type dstate struct {
 }
 
 const transUnset = ^uint32(0)
+
+// thrashWindow is the lookup window over which Options.ThrashMissRate is
+// evaluated per component.
+const thrashWindow = 1024
 
 // Engine executes one automaton via per-component lazy DFAs. Not safe for
 // concurrent use; the underlying Automaton is shared and immutable, so run
@@ -147,6 +175,14 @@ type Engine struct {
 	reg       *telemetry.Registry
 	published Stats // portion of stats already flushed to reg
 	spans     *telemetry.Spans
+
+	// Governor hooks. cacheBytes is the engine-wide modeled cache size
+	// (sum of component bytes); govErr stashes a run-stopping governor
+	// error raised inside construction (computeTransition has no error
+	// return) for RunChecked to surface.
+	gov        *guard.Governor
+	govErr     error
+	cacheBytes int64
 }
 
 // Options tune the engine's internal strategies; the zero value is the
@@ -161,6 +197,21 @@ type Options struct {
 	// BudgetFactor overrides the DFA-state budget multiplier (default 16
 	// states per NFA state).
 	BudgetFactor int
+
+	// MaxCacheBytes bounds the engine's modeled interned-state bytes
+	// (0 = unlimited). A component whose next constructed state would
+	// exceed it degrades to NFA stepping and frees its interned states;
+	// reports are unchanged (pinned by difftest).
+	MaxCacheBytes int64
+	// ThrashMissRate, when > 0, degrades a component whose transition
+	// cache keeps missing: if its miss rate over a window of 1024
+	// lookups exceeds this fraction, the component falls back to NFA
+	// stepping instead of constructing (and evicting) forever.
+	ThrashMissRate float64
+	// ForceNFAFallback starts every component in NFA-fallback mode —
+	// the degradation path exercised end to end (difftest soak uses it
+	// to pin report identity across the degradation boundary).
+	ForceNFAFallback bool
 }
 
 // New analyzes and decomposes a. It returns ErrCounters if the automaton
@@ -194,7 +245,41 @@ func NewWithOptions(a *automata.Automaton, opts Options) (*Engine, error) {
 	}
 	e.cur = make([]uint32, nComp)
 	e.Reset()
+	if opts.ForceNFAFallback {
+		for i, c := range e.comps {
+			e.degrade(c, i, nil)
+		}
+	}
 	return e, nil
+}
+
+// dstateCost models the bytes one interned dstate holds: struct header,
+// frontier members, and per-class transition + report storage. A model,
+// not an exact measurement — the budget needs monotonicity, not bytes.
+func dstateCost(frontierLen, nClasses int) int64 {
+	return 96 + 4*int64(frontierLen) + 12*int64(nClasses)
+}
+
+// degrade switches component ci into NFA-fallback mode with its frontier
+// seeded from seed (nil for a fresh stream), releasing its interned
+// dstates' bytes to the engine and governor accounting.
+func (e *Engine) degrade(c *component, ci int, seed []automata.StateID) {
+	c.overflow = true
+	e.stats.Fallbacks++
+	e.stats.CacheEvictions += int64(len(c.dstates))
+	if e.tracer != nil {
+		e.tracer.OnCacheEvent(e.offset, ci, telemetry.CacheEviction)
+	}
+	c.frontier = append(c.frontier[:0], seed...)
+	if c.mark == nil {
+		c.mark = map[automata.StateID]bool{}
+	}
+	e.cacheBytes -= c.bytes
+	e.gov.ReleaseCache(c.bytes)
+	c.bytes = 0
+	c.dstates = nil
+	c.index = nil
+	c.freeBytes = false
 }
 
 // prepare computes byte classes and the initial DFA states of a component.
@@ -261,6 +346,9 @@ func (e *Engine) prepare(c *component) {
 	sort.Slice(init, func(i, j int) bool { return init[i] < init[j] })
 	c.dstates = append(c.dstates, e.newDstate(c, init))
 	c.index[frontierKey(init)] = 1
+	cost := dstateCost(0, c.nClasses) + dstateCost(len(init), c.nClasses)
+	c.bytes += cost
+	e.cacheBytes += cost
 }
 
 func (e *Engine) newDstate(c *component, frontier []automata.StateID) dstate {
@@ -285,6 +373,15 @@ func frontierKey(f []automata.StateID) string {
 
 // computeTransition determinizes one (dstate, byte-class) edge.
 func (e *Engine) computeTransition(c *component, di uint32, cls uint16) {
+	// Construction boundary: the governor may inject a fault here or
+	// already hold a sticky trip; either stops the run (stashed in govErr
+	// — this function has no error return).
+	if e.gov != nil {
+		if err := e.gov.Inject(guard.SiteDFAConstruct); err != nil {
+			e.govErr = err
+			return
+		}
+	}
 	d := &c.dstates[di]
 	rep := c.classRep[cls]
 	var reports []int32
@@ -317,10 +414,36 @@ func (e *Engine) computeTransition(c *component, di uint32, cls uint16) {
 	ni, ok := c.index[key]
 	if !ok {
 		if len(c.dstates) >= c.budget {
-			// Budget exceeded: switch the whole component to NFA fallback.
-			// The component's interned dstates are abandoned (evicted from
-			// active use); the NFA path steps the frontier directly.
+			// State budget exceeded: switch the whole component to NFA
+			// fallback. The interned dstates are abandoned (evicted from
+			// active use) but retained — DFAStates in existing output must
+			// not change; the NFA path steps the frontier directly.
 			c.overflow = true
+			e.stats.Fallbacks++
+			e.stats.CacheEvictions += int64(len(c.dstates))
+			return
+		}
+		cost := dstateCost(len(nextFront), c.nClasses)
+		granted := true
+		if e.gov != nil {
+			g, err := e.gov.GrowCache(guard.SiteDFAConstruct, cost)
+			if err != nil {
+				e.govErr = err
+				return
+			}
+			granted = g
+		}
+		if granted && e.opts.MaxCacheBytes > 0 && e.cacheBytes+cost > e.opts.MaxCacheBytes {
+			e.gov.ReleaseCache(cost)
+			granted = false
+		}
+		if !granted {
+			// Cache-byte budget exhausted: degrade this component. Unlike
+			// the state-budget path its dstates are freed (that is the
+			// point of the byte budget) — stepByte seeds the fallback
+			// frontier from the current dstate first, then releases.
+			c.overflow = true
+			c.freeBytes = true
 			e.stats.Fallbacks++
 			e.stats.CacheEvictions += int64(len(c.dstates))
 			return
@@ -329,6 +452,8 @@ func (e *Engine) computeTransition(c *component, di uint32, cls uint16) {
 		nd := e.newDstate(c, nextFront)
 		c.dstates = append(c.dstates, nd)
 		c.index[key] = ni
+		c.bytes += cost
+		e.cacheBytes += cost
 	}
 	// Re-take the pointer: the append above may have moved the slice.
 	d = &c.dstates[di]
@@ -350,6 +475,18 @@ func (e *Engine) SetTracer(t telemetry.Tracer) { e.tracer = t }
 // is timed as one aggregated "dfa.run" span, opened outside the per-byte
 // loop so the disabled path stays a nil-receiver no-op.
 func (e *Engine) SetSpans(s *telemetry.Spans) { e.spans = s }
+
+// SetGovernor attaches a run governor (nil detaches). Budgets and fault
+// injection are enforced by RunChecked and at construction boundaries;
+// bare Run calls stay ungoverned. The engine's already-interned initial
+// states are reserved against the governor's cache budget (best effort —
+// they are a handful of near-empty dstates).
+func (e *Engine) SetGovernor(g *guard.Governor) {
+	e.gov = g
+	if g != nil && e.cacheBytes > 0 {
+		g.GrowCache(guard.SiteDFAConstruct, e.cacheBytes)
+	}
+}
 
 // SetRegistry attaches a metrics registry (nil detaches). Aggregate run
 // statistics flush to the dfa.* counters and gauges at the end of every
@@ -374,8 +511,10 @@ func (e *Engine) flushStats() {
 	r.Counter("dfa.cache_misses").Add(s.CacheMisses - e.published.CacheMisses)
 	r.Counter("dfa.cache_evictions").Add(s.CacheEvictions - e.published.CacheEvictions)
 	r.Counter("dfa.construct_nanos").Add(s.ConstructNanos - e.published.ConstructNanos)
+	r.Counter("dfa.fallback_bytes").Add(s.FallbackBytes - e.published.FallbackBytes)
 	r.Gauge("dfa.states").Set(int64(s.DFAStates))
 	r.Gauge("dfa.fallbacks").Set(int64(s.Fallbacks))
+	r.Gauge("dfa.cache_bytes").Set(s.CacheBytes)
 	e.published = s
 }
 
@@ -410,6 +549,7 @@ func (e *Engine) Stats() Stats {
 	for _, c := range e.comps {
 		s.DFAStates += len(c.dstates)
 	}
+	s.CacheBytes = e.cacheBytes
 	return s
 }
 
@@ -446,6 +586,44 @@ func (e *Engine) Run(input []byte) Stats {
 	return e.Stats()
 }
 
+// govChunk is the governed input granularity, matching sim's: budgets,
+// cancellation, and fault injection are observed every govChunk bytes.
+const govChunk = 4096
+
+// RunChecked is Run under the attached governor: the input is consumed
+// in govChunk-sized chunks with a guard boundary before each chunk, and
+// run-stopping governor errors raised inside subset construction are
+// surfaced. On a trip the partial statistics are returned with the
+// *guard.TripError. With no governor attached it is exactly Run.
+func (e *Engine) RunChecked(input []byte) (Stats, error) {
+	if e.gov == nil {
+		return e.Run(input), nil
+	}
+	sp := e.spans.Start("dfa.run")
+	var err error
+	for off := 0; off < len(input) && err == nil; off += govChunk {
+		end := off + govChunk
+		if end > len(input) {
+			end = len(input)
+		}
+		if err = e.gov.Boundary(guard.SiteDFAChunk, int64(end-off)); err != nil {
+			break
+		}
+		for _, b := range input[off:end] {
+			e.stepByte(b)
+			if e.govErr != nil {
+				err = e.govErr
+				break
+			}
+		}
+	}
+	if e.reg != nil {
+		e.flushStats()
+	}
+	sp.End()
+	return e.Stats(), err
+}
+
 func (e *Engine) stepByte(b byte) {
 	e.stats.Symbols++
 	for i := 0; i < len(e.live); {
@@ -460,11 +638,17 @@ func (e *Engine) stepByte(b byte) {
 		cls := c.byteClass[b]
 		if c.dstates[di].trans[cls] == transUnset {
 			e.stats.CacheMisses++
+			c.winMisses++
 			start := time.Now()
 			e.computeTransition(c, di, cls)
 			e.stats.ConstructNanos += time.Since(start).Nanoseconds()
 			if e.tracer != nil {
 				e.tracer.OnCacheEvent(e.offset, int(ci), telemetry.CacheMiss)
+			}
+			if e.govErr != nil {
+				// Run-stopping governor error inside construction: the
+				// transition was not computed; RunChecked surfaces govErr.
+				return
 			}
 			if c.overflow {
 				if e.tracer != nil {
@@ -476,12 +660,35 @@ func (e *Engine) stepByte(b byte) {
 				if c.mark == nil {
 					c.mark = map[automata.StateID]bool{}
 				}
+				if c.freeBytes {
+					// Byte-budget degradation: release the interned states
+					// now that the frontier is seeded.
+					e.cacheBytes -= c.bytes
+					e.gov.ReleaseCache(c.bytes)
+					c.bytes = 0
+					c.dstates = nil
+					c.index = nil
+					c.freeBytes = false
+				}
 				e.nfaStep(c, b)
 				i++
 				continue
 			}
 		} else {
 			e.stats.CacheHits++
+		}
+		c.winLookups++
+		if e.opts.ThrashMissRate > 0 && c.winLookups >= thrashWindow {
+			if float64(c.winMisses) > e.opts.ThrashMissRate*float64(c.winLookups) {
+				// Persistent cache thrash: constructing (and re-constructing)
+				// is costing more than interpreting — degrade the component
+				// and process this byte via the NFA path.
+				e.degrade(c, int(ci), c.dstates[di].frontier)
+				e.nfaStep(c, b)
+				i++
+				continue
+			}
+			c.winLookups, c.winMisses = 0, 0
 		}
 		d := &c.dstates[di]
 		for _, code := range d.reports[cls] {
@@ -502,6 +709,7 @@ func (e *Engine) stepByte(b byte) {
 
 // nfaStep advances an overflowed component by direct frontier stepping.
 func (e *Engine) nfaStep(c *component, b byte) {
+	e.stats.FallbackBytes++
 	c.next = c.next[:0]
 	clear(c.mark)
 	consider := func(s automata.StateID) {

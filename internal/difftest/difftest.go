@@ -357,7 +357,15 @@ func GenBitInput(rng *randx.Rand, witnesses [][]byte, n int) []byte {
 // (nil if they agree). The automaton must be counter-free; dfa.New's
 // ErrCounters is passed through.
 func SimVsDFA(a *automata.Automaton, input []byte) (*Divergence, error) {
-	d, err := dfa.New(a)
+	return SimVsDFAWithOptions(a, input, dfa.Options{})
+}
+
+// SimVsDFAWithOptions is SimVsDFA with explicit dfa.Options, so the oracle
+// can pin report identity across the engine's degradation modes: forced
+// NFA fallback, tiny cache byte budgets, and aggressive thrash detection
+// must all produce the exact sim report stream.
+func SimVsDFAWithOptions(a *automata.Automaton, input []byte, opts dfa.Options) (*Divergence, error) {
+	d, err := dfa.NewWithOptions(a, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,57 @@
+package difftest
+
+import (
+	"testing"
+
+	"automatazoo/internal/dfa"
+	"automatazoo/internal/randx"
+)
+
+// The graceful-degradation contract, pinned through the oracle: a DFA
+// engine degraded to NFA stepping — forced from the start, starved by a
+// one-byte cache budget, or tripped by an aggressive thrash detector —
+// must emit the exact sim report stream.
+func TestSimVsDFADegradationModes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts dfa.Options
+	}{
+		{"forced-fallback", dfa.Options{ForceNFAFallback: true}},
+		{"byte-starved", dfa.Options{MaxCacheBytes: 1}},
+		{"thrash-trigger", dfa.Options{ThrashMissRate: 0.0001}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var reports int
+			for i := 0; i < 25; i++ {
+				rng := randx.New(uint64(7000 + i))
+				cfg := GenConfig{States: 14}
+				a := Generate(rng.Fork(), cfg)
+				input := GenInput(rng.Fork(), cfg, 2048)
+				d, err := SimVsDFAWithOptions(a, input, tc.opts)
+				if err != nil {
+					t.Fatalf("seed %d: %v", 7000+i, err)
+				}
+				if d != nil {
+					t.Fatalf("seed %d: %s", 7000+i, d.String())
+				}
+				reports += len(simEvents(a, input))
+			}
+			if reports == 0 {
+				t.Fatal("degradation oracle compared zero reports — vacuous")
+			}
+		})
+	}
+}
+
+// Soak with ForceDFAFallback must cover the sim-dfa pair with real
+// reports and find no divergences.
+func TestSoakForcedFallback(t *testing.T) {
+	res := Soak(SoakConfig{Seeds: 30, Seed: 11, ForceDFAFallback: true, Pairs: []string{PairSimDFA}})
+	for _, d := range res.Divergences {
+		t.Errorf("divergence: %s", d.String())
+	}
+	st := res.Pairs[PairSimDFA]
+	if st.Runs == 0 || st.Reports == 0 {
+		t.Fatalf("forced-fallback soak vacuous: %+v", st)
+	}
+}

@@ -1,6 +1,7 @@
 package difftest
 
 import (
+	"automatazoo/internal/dfa"
 	"automatazoo/internal/randx"
 )
 
@@ -21,6 +22,13 @@ type SoakConfig struct {
 	InputLen int      // input length per trial (default 512)
 	Seed     uint64   // base seed; trial i uses Seed+i
 	Pairs    []string // subset of AllPairs; nil = all
+
+	// ForceDFAFallback runs the sim-dfa pair with every component degraded
+	// to NFA stepping from the start (dfa.Options.ForceNFAFallback) — the
+	// oracle for the engine's graceful-degradation contract: the fallback
+	// path must emit the exact same report stream as both sim and the
+	// cached-DFA path.
+	ForceDFAFallback bool
 }
 
 // PairStat summarizes one oracle pair's coverage across a soak.
@@ -96,7 +104,9 @@ func Soak(cfg SoakConfig) SoakResult {
 			input := GenInput(rng.Fork(), cfgFree, cfg.InputLen)
 			ref := simEvents(a, input)
 			if want[PairSimDFA] {
-				d, err := SimVsDFA(a, input)
+				d, err := SimVsDFAWithOptions(a, input, dfa.Options{
+					ForceNFAFallback: cfg.ForceDFAFallback,
+				})
 				if err != nil {
 					// Counter-free by construction; an error here is a bug.
 					record(PairSimDFA, seed, len(ref), &Divergence{

@@ -15,6 +15,7 @@ import (
 	"context"
 
 	"automatazoo/internal/core"
+	"automatazoo/internal/guard"
 	"automatazoo/internal/mesh"
 	"automatazoo/internal/snort"
 	"automatazoo/internal/stats"
@@ -24,12 +25,16 @@ import (
 // Observer carries optional telemetry sinks through an experiment: a
 // metrics registry the engines publish into, a tracer receiving execution
 // events, and a phase-span collector recording each kernel's
-// build/simulate/compress (etc.) wall-clock breakdown. The zero value
-// (and a nil *Observer) disables all three.
+// build/simulate/compress (etc.) wall-clock breakdown. Governor, when
+// non-nil, bounds the experiment: every kernel checks in at the
+// experiments.kernel boundary before starting and every engine runs
+// governed, so one budget trip stops the whole table. The zero value
+// (and a nil *Observer) disables all four.
 type Observer struct {
 	Registry *telemetry.Registry
 	Tracer   telemetry.Tracer
 	Spans    *telemetry.Spans
+	Governor *guard.Governor
 }
 
 func (o *Observer) registry() *telemetry.Registry {
@@ -51,6 +56,13 @@ func (o *Observer) spans() *telemetry.Spans {
 		return nil
 	}
 	return o.Spans
+}
+
+func (o *Observer) governor() *guard.Governor {
+	if o == nil {
+		return nil
+	}
+	return o.Governor
 }
 
 // TableI generates every suite benchmark at cfg's scale, computes its
@@ -104,6 +116,10 @@ type TableIIIRow struct {
 	HasCache       bool
 	CacheHitRate   float64 // fraction of transitions found interned
 	CacheEvictRate float64 // evicted DFA states per transition lookup
+	// Fallbacks counts components that degraded from DFA to NFA stepping
+	// during the measurement (cache budget or thrash); non-zero rows are
+	// annotated "[degraded]" in the rendered table.
+	Fallbacks int
 }
 
 // TableIII measures the Section-VII experiment: the same Sequence Matching
@@ -140,6 +156,9 @@ type TableIVRow struct {
 	HasCache       bool
 	CacheHitRate   float64
 	CacheEvictRate float64
+	// Fallbacks counts components that degraded from DFA to NFA stepping
+	// during the measurement; non-zero rows are annotated "[degraded]".
+	Fallbacks int
 }
 
 // TableIV measures Random Forest classification throughput: automata

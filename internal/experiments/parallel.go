@@ -9,6 +9,7 @@ import (
 	"automatazoo/internal/automata"
 	"automatazoo/internal/core"
 	"automatazoo/internal/dfa"
+	"automatazoo/internal/guard"
 	"automatazoo/internal/parallel"
 	"automatazoo/internal/randx"
 	"automatazoo/internal/rf"
@@ -111,9 +112,14 @@ func TableIParallel(ctx context.Context, cfg core.Config, compress bool, workers
 	regs := localRegistries(obs, len(benches))
 	forks := localSpans(obs, len(benches))
 	tr := obs.tracer()
+	gov := obs.governor()
 	err := parallel.ForEach(ctx, workers, len(benches), func(i int) error {
 		b := benches[i]
+		if err := gov.Boundary(guard.SiteKernel, 0); err != nil {
+			return fmt.Errorf("%s: %w", b.Name, err)
+		}
 		ksp := forks[i].Start(b.Name)
+		defer ksp.End()
 		bsp := ksp.Start("build")
 		a, segs, err := b.Build(cfg)
 		bsp.End()
@@ -121,28 +127,34 @@ func TableIParallel(ctx context.Context, cfg core.Config, compress bool, workers
 			return fmt.Errorf("%s: %w", b.Name, err)
 		}
 		ssp := ksp.Start("simulate")
+		dyn, err := stats.ObserveSegmentsGoverned(a, segs, regs[i], tr, gov)
+		ssp.End()
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.Name, err)
+		}
 		row := stats.Row{
 			Name:    b.Name,
 			Domain:  b.Domain,
 			Input:   b.Input,
 			Static:  stats.Compute(a),
-			Dynamic: stats.ObserveSegments(a, segs, regs[i], tr),
+			Dynamic: dyn,
 		}
-		ssp.End()
 		if compress {
 			csp := ksp.Start("compress")
 			row.Compression = stats.Compress(a)
 			csp.End()
 		}
 		rows[i] = row
-		ksp.End()
 		return nil
 	})
+	// Merge telemetry on the error path too: a truncated table still
+	// reports the partial phase spans and counters of the kernels that ran
+	// (the pool has drained, so the forks and registries are settled).
+	mergeRegistries(obs, regs)
+	adoptSpans(obs, forks)
 	if err != nil {
 		return nil, err
 	}
-	mergeRegistries(obs, regs)
-	adoptSpans(obs, forks)
 	return rows, nil
 }
 
@@ -155,8 +167,12 @@ func TableIIParallel(ctx context.Context, samples int, seed uint64, workers int,
 	variants := []rf.Variant{rf.VariantA, rf.VariantB, rf.VariantC}
 	regs := localRegistries(obs, len(variants))
 	forks := localSpans(obs, len(variants))
+	gov := obs.governor()
 	rows, err := parallel.Map(ctx, workers, len(variants), func(i int) (TableIIRow, error) {
 		v := variants[i]
+		if err := gov.Boundary(guard.SiteKernel, 0); err != nil {
+			return TableIIRow{}, err
+		}
 		ksp := forks[i].Start("rf." + v.Name)
 		defer ksp.End()
 		tsp := ksp.Start("train")
@@ -184,11 +200,11 @@ func TableIIParallel(ctx context.Context, samples int, seed uint64, workers int,
 			SymbolsPer: enc.SymbolsPerSample,
 		}, nil
 	})
+	mergeRegistries(obs, regs)
+	adoptSpans(obs, forks)
 	if err != nil {
 		return nil, err
 	}
-	mergeRegistries(obs, regs)
-	adoptSpans(obs, forks)
 	var baseSymbols int
 	for _, r := range rows {
 		if r.Variant == "B" {
@@ -242,15 +258,21 @@ func TableIIIParallel(ctx context.Context, filters, inputItemsets int, seed uint
 	}
 	regs := localRegistries(obs, 4)
 	tr := obs.tracer()
-	timeNFA := func(a *automata.Automaton, reg *telemetry.Registry) float64 {
+	gov := obs.governor()
+	timeNFA := func(a *automata.Automaton, reg *telemetry.Registry) (float64, error) {
 		e := sim.New(a)
 		e.SetRegistry(reg)
-		return bestOf(3, func() float64 {
+		e.SetGovernor(gov)
+		var rerr error
+		sec := bestOf(3, func() float64 {
 			e.Reset()
 			start := time.Now()
-			e.Run(input)
+			if _, err := e.RunChecked(input); err != nil && rerr == nil {
+				rerr = err
+			}
 			return time.Since(start).Seconds()
 		})
+		return sec, rerr
 	}
 	timeDFA := func(a *automata.Automaton, reg *telemetry.Registry) (float64, dfa.Stats, error) {
 		e, err := dfa.New(a)
@@ -259,17 +281,23 @@ func TableIIIParallel(ctx context.Context, filters, inputItemsets int, seed uint
 		}
 		e.SetRegistry(reg)
 		e.SetTracer(tr)
-		e.Run(input) // warm the transition cache fully
+		e.SetGovernor(gov)
+		if _, err := e.RunChecked(input); err != nil { // warm the transition cache fully
+			return 0, dfa.Stats{}, err
+		}
 		const loops = 12
+		var rerr error
 		sec := bestOf(3, func() float64 {
 			start := time.Now()
-			for l := 0; l < loops; l++ {
+			for l := 0; l < loops && rerr == nil; l++ {
 				e.Reset()
-				e.Run(input)
+				if _, err := e.RunChecked(input); err != nil {
+					rerr = err
+				}
 			}
 			return time.Since(start).Seconds() / loops
 		})
-		return sec, e.Stats(), nil
+		return sec, e.Stats(), rerr
 	}
 
 	// Kernel order matches the sequential harness: NFA plain, NFA padded,
@@ -280,11 +308,15 @@ func TableIIIParallel(ctx context.Context, filters, inputItemsets int, seed uint
 	names := []string{"nfa.plain", "nfa.padded", "dfa.plain", "dfa.padded"}
 	forks := localSpans(obs, 4)
 	err = parallel.ForEach(ctx, workers, 4, func(i int) error {
+		if err := gov.Boundary(guard.SiteKernel, 0); err != nil {
+			return err
+		}
 		ksp := forks[i].Start(names[i])
 		defer ksp.End()
 		if i < 2 {
-			secs[i] = timeNFA(autos[i], regs[i])
-			return nil
+			sec, err := timeNFA(autos[i], regs[i])
+			secs[i] = sec
+			return err
 		}
 		sec, st, err := timeDFA(autos[i], regs[i])
 		if err != nil {
@@ -293,16 +325,18 @@ func TableIIIParallel(ctx context.Context, filters, inputItemsets int, seed uint
 		secs[i], dfaStats[i] = sec, st
 		return nil
 	})
+	mergeRegistries(obs, regs)
+	adoptSpans(obs, forks)
 	if err != nil {
 		return nil, err
 	}
-	mergeRegistries(obs, regs)
-	adoptSpans(obs, forks)
 	var cacheTotal dfa.Stats
 	for _, st := range dfaStats {
 		cacheTotal.CacheHits += st.CacheHits
 		cacheTotal.CacheMisses += st.CacheMisses
 		cacheTotal.CacheEvictions += st.CacheEvictions
+		cacheTotal.Fallbacks += st.Fallbacks
+		cacheTotal.FallbackBytes += st.FallbackBytes
 	}
 	// Overhead is undefined when the plain run measured no time at all
 	// (possible on very coarse clocks); report 0 rather than ±Inf/NaN.
@@ -315,7 +349,8 @@ func TableIIIParallel(ctx context.Context, filters, inputItemsets int, seed uint
 	return []TableIIIRow{
 		{Engine: "VASim (NFA interpreter)", PlainSec: secs[0], PaddedSec: secs[1], OverheadPct: pct(secs[0], secs[1])},
 		{Engine: "Hyperscan (lazy DFA)", PlainSec: secs[2], PaddedSec: secs[3], OverheadPct: pct(secs[2], secs[3]),
-			HasCache: true, CacheHitRate: cacheTotal.HitRate(), CacheEvictRate: cacheTotal.EvictionRate()},
+			HasCache: true, CacheHitRate: cacheTotal.HitRate(), CacheEvictRate: cacheTotal.EvictionRate(),
+			Fallbacks: cacheTotal.Fallbacks},
 	}, nil
 }
 
@@ -348,6 +383,7 @@ func TableIVParallel(ctx context.Context, samples int, seed uint64, workers int,
 	regs := localRegistries(obs, 3)
 	forks := localSpans(obs, 3)
 	tr := obs.tracer()
+	gov := obs.governor()
 	kernels := []func() error{
 		func() error { // Hyperscan proxy: per-sample DFA scan.
 			ksp := forks[0].Start("hyperscan")
@@ -367,15 +403,21 @@ func TableIVParallel(ctx context.Context, samples int, seed uint64, workers int,
 			}
 			de.SetRegistry(regs[0])
 			de.SetTracer(tr)
+			de.SetGovernor(gov)
 			for _, s := range encoded[:min(64, len(encoded))] {
 				de.Reset()
-				de.Run(s)
+				if _, err := de.RunChecked(s); err != nil {
+					return err
+				}
 			}
 			ssp := ksp.Start("scan")
 			start := time.Now()
 			for _, s := range encoded {
 				de.Reset()
-				de.Run(s)
+				if _, err := de.RunChecked(s); err != nil {
+					ssp.End()
+					return err
+				}
 			}
 			hsRate = perSecond(hsN, time.Since(start))
 			ssp.End()
@@ -401,11 +443,17 @@ func TableIVParallel(ctx context.Context, samples int, seed uint64, workers int,
 			return nil
 		},
 	}
-	if err := parallel.ForEach(ctx, workers, len(kernels), func(i int) error { return kernels[i]() }); err != nil {
-		return nil, err
-	}
+	err = parallel.ForEach(ctx, workers, len(kernels), func(i int) error {
+		if err := gov.Boundary(guard.SiteKernel, 0); err != nil {
+			return err
+		}
+		return kernels[i]()
+	})
 	mergeRegistries(obs, regs)
 	adoptSpans(obs, forks)
+	if err != nil {
+		return nil, err
+	}
 
 	// Native multi-threaded, alone on the machine (recorded straight into
 	// obs.Spans: the pool has drained, so there is no contention to avoid).

@@ -1,0 +1,316 @@
+// Package guard is the suite's run governor: cooperative resource budgets
+// (wall-clock deadline, input bytes, DFA cache bytes, NFA active-set size)
+// checked at cheap execution boundaries, plus deterministic fault
+// injection (see injector.go) for exercising every failure path on
+// purpose.
+//
+// The paper's harness assumes every kernel runs to completion on a
+// friendly machine. A production automata service cannot: a pathological
+// automaton can blow up the subset construction, a hostile input can run
+// unbounded, and a single crashing kernel must not take the process down.
+// One *Governor is shared by every execution layer of a run — engines
+// (sim, dfa), the partition fan-out, the experiment harnesses, and the
+// azoo CLI — so a budget tripped anywhere stops the whole run
+// cooperatively, and the CLI can still emit a valid, Truncated-flagged
+// run-report manifest.
+//
+// Design rules:
+//
+//   - A nil *Governor is a valid no-op receiver; ungoverned runs pay one
+//     nil check per boundary and nothing else.
+//   - Trips are sticky: the first TripError is recorded atomically and
+//     every later check returns it, so concurrent workers converge on the
+//     same structured error instead of racing.
+//   - The cache-byte budget is a degradation signal, not a trip:
+//     GrowCache denies the reservation and the DFA engine falls back to
+//     NFA stepping for that component (reports are unchanged — pinned by
+//     the difftest oracle). All other budgets truncate the run.
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Budget bounds one run. The zero value is unlimited; any field left zero
+// is individually unlimited.
+type Budget struct {
+	// Timeout is the wall-clock budget for the run, measured from New.
+	Timeout time.Duration
+	// MaxInputBytes bounds the cumulative input consumed across all
+	// engines sharing the governor.
+	MaxInputBytes int64
+	// MaxCacheBytes bounds the cumulative interned DFA-state bytes across
+	// all engines sharing the governor. Exceeding it degrades (DFA→NFA
+	// fallback) rather than truncating.
+	MaxCacheBytes int64
+	// MaxActiveSet bounds the NFA enabled-frontier size, checked per input
+	// chunk; a frontier beyond it trips the run (subset-blowup guard for
+	// interpreted engines).
+	MaxActiveSet int64
+}
+
+// Unlimited reports whether every budget field is zero.
+func (b Budget) Unlimited() bool {
+	return b.Timeout == 0 && b.MaxInputBytes == 0 && b.MaxCacheBytes == 0 && b.MaxActiveSet == 0
+}
+
+// Budget names used in TripError.Budget and report manifests.
+const (
+	BudgetDeadline   = "deadline"
+	BudgetCanceled   = "canceled"
+	BudgetInputBytes = "input-bytes"
+	BudgetCacheBytes = "cache-bytes"
+	BudgetActiveSet  = "active-set"
+	BudgetInjected   = "injected"
+)
+
+// Boundary site names. Engines and harnesses pass these to Boundary /
+// Inject / GrowCache; the fault injector matches rules against them.
+const (
+	SiteSimChunk       = "sim.chunk"
+	SiteDFAChunk       = "dfa.chunk"
+	SiteDFAConstruct   = "dfa.construct"
+	SitePartitionSlice = "partition.slice"
+	SiteKernel         = "experiments.kernel"
+)
+
+// TripError is the structured error for a tripped budget: which budget,
+// the configured limit, the observed value, and (when site-specific) the
+// boundary that noticed. Deadline and cancellation trips unwrap to
+// context.DeadlineExceeded / the context's error so existing errors.Is
+// checks keep working.
+type TripError struct {
+	Budget   string // one of the Budget* constants
+	Limit    int64  // configured limit (nanoseconds for deadline), 0 if n/a
+	Actual   int64  // observed value at the trip, 0 if n/a
+	Site     string // boundary site, "" when not site-specific
+	Injected bool   // true when forced by the fault injector
+	Cause    error  // wrapped cause (context errors), may be nil
+}
+
+func (e *TripError) Error() string {
+	at := ""
+	if e.Site != "" {
+		at = " at " + e.Site
+	}
+	inj := ""
+	if e.Injected {
+		inj = " (injected)"
+	}
+	switch e.Budget {
+	case BudgetDeadline:
+		if e.Limit > 0 {
+			return fmt.Sprintf("guard: deadline budget of %v exceeded%s%s", time.Duration(e.Limit), at, inj)
+		}
+		return fmt.Sprintf("guard: deadline exceeded%s%s", at, inj)
+	case BudgetCanceled:
+		return fmt.Sprintf("guard: run canceled%s%s", at, inj)
+	case BudgetInjected:
+		return fmt.Sprintf("guard: injected budget trip%s", at)
+	default:
+		return fmt.Sprintf("guard: %s budget exceeded (limit %d, got %d)%s%s", e.Budget, e.Limit, e.Actual, at, inj)
+	}
+}
+
+func (e *TripError) Unwrap() error { return e.Cause }
+
+// AsTrip unwraps err to a *TripError, or nil.
+func AsTrip(err error) *TripError {
+	var t *TripError
+	if errors.As(err, &t) {
+		return t
+	}
+	return nil
+}
+
+// Governor enforces one Budget across every execution layer of a run. It
+// is safe for concurrent use (the parallel layer shares one governor
+// across workers); all methods are nil-receiver no-ops.
+type Governor struct {
+	budget   Budget
+	ctx      context.Context
+	deadline time.Time
+	input    atomic.Int64
+	cache    atomic.Int64
+	trip     atomic.Pointer[TripError]
+	inj      *Injector
+}
+
+// New returns a governor for budget b, observing ctx for cancellation
+// (nil ctx means context.Background()). The deadline clock starts now.
+func New(ctx context.Context, b Budget) *Governor {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	g := &Governor{budget: b, ctx: ctx}
+	if b.Timeout > 0 {
+		g.deadline = time.Now().Add(b.Timeout)
+	}
+	return g
+}
+
+// SetInjector arms the governor with a fault injector (nil disarms).
+func (g *Governor) SetInjector(inj *Injector) {
+	if g != nil {
+		g.inj = inj
+	}
+}
+
+// Budget returns the governed budget (zero value for a nil governor).
+func (g *Governor) Budget() Budget {
+	if g == nil {
+		return Budget{}
+	}
+	return g.budget
+}
+
+// Err returns the sticky first trip, or nil.
+func (g *Governor) Err() *TripError {
+	if g == nil {
+		return nil
+	}
+	return g.trip.Load()
+}
+
+// InputBytes returns the cumulative input consumed so far.
+func (g *Governor) InputBytes() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.input.Load()
+}
+
+// CacheBytes returns the cumulative reserved DFA cache bytes.
+func (g *Governor) CacheBytes() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.cache.Load()
+}
+
+// record makes t the sticky trip (first writer wins) and returns the
+// winning trip, so every caller surfaces one consistent error.
+func (g *Governor) record(t *TripError) *TripError {
+	if g.trip.CompareAndSwap(nil, t) {
+		return t
+	}
+	return g.trip.Load()
+}
+
+// Check is the cheap cooperative check: sticky trip, context, deadline.
+func (g *Governor) Check() error {
+	if g == nil {
+		return nil
+	}
+	if t := g.trip.Load(); t != nil {
+		return t
+	}
+	if err := g.ctx.Err(); err != nil {
+		return g.record(&TripError{Budget: BudgetCanceled, Cause: err})
+	}
+	if !g.deadline.IsZero() && time.Now().After(g.deadline) {
+		return g.record(&TripError{
+			Budget: BudgetDeadline,
+			Limit:  int64(g.budget.Timeout),
+			Cause:  context.DeadlineExceeded,
+		})
+	}
+	return nil
+}
+
+// Inject fires the fault injector for site and folds any injected fault
+// into the sticky trip. Injected panics propagate to the nearest
+// parallel-worker boundary (which converts them to *parallel.PanicError).
+func (g *Governor) Inject(site string) error {
+	if g == nil {
+		return nil
+	}
+	if err := g.inj.fire(site); err != nil {
+		return g.record(err)
+	}
+	if t := g.trip.Load(); t != nil {
+		return t
+	}
+	return nil
+}
+
+// Boundary is the per-chunk cooperative checkpoint: fault injection,
+// sticky trip, context/deadline, and input accounting in one call. n is
+// the input bytes about to be consumed; the trip fires before they are,
+// so a truncated run never scans past its budget by more than one chunk.
+func (g *Governor) Boundary(site string, n int64) error {
+	if g == nil {
+		return nil
+	}
+	if err := g.inj.fire(site); err != nil {
+		return g.record(err)
+	}
+	if err := g.Check(); err != nil {
+		return err
+	}
+	if n > 0 {
+		total := g.input.Add(n)
+		if g.budget.MaxInputBytes > 0 && total > g.budget.MaxInputBytes {
+			g.input.Add(-n)
+			return g.record(&TripError{
+				Budget: BudgetInputBytes,
+				Limit:  g.budget.MaxInputBytes,
+				Actual: total,
+				Site:   site,
+			})
+		}
+	}
+	return nil
+}
+
+// GrowCache reserves n DFA cache bytes. A false grant (with nil error)
+// means the cache budget is exhausted: the caller must degrade (DFA→NFA
+// fallback) and the reservation is not recorded — it is NOT a
+// run-stopping trip. A non-nil error is a sticky trip (injected fault or
+// a budget tripped elsewhere) and the run must stop.
+func (g *Governor) GrowCache(site string, n int64) (bool, error) {
+	if g == nil {
+		return true, nil
+	}
+	if t := g.trip.Load(); t != nil {
+		return false, t
+	}
+	total := g.cache.Add(n)
+	if g.budget.MaxCacheBytes > 0 && total > g.budget.MaxCacheBytes {
+		g.cache.Add(-n)
+		return false, nil
+	}
+	return true, nil
+}
+
+// ReleaseCache returns previously reserved cache bytes (component
+// fallback frees its interned states).
+func (g *Governor) ReleaseCache(n int64) {
+	if g == nil || n == 0 {
+		return
+	}
+	g.cache.Add(-n)
+}
+
+// CheckActive trips when the NFA enabled-frontier size n exceeds the
+// active-set budget.
+func (g *Governor) CheckActive(n int64) error {
+	if g == nil {
+		return nil
+	}
+	if t := g.trip.Load(); t != nil {
+		return t
+	}
+	if g.budget.MaxActiveSet > 0 && n > g.budget.MaxActiveSet {
+		return g.record(&TripError{
+			Budget: BudgetActiveSet,
+			Limit:  g.budget.MaxActiveSet,
+			Actual: n,
+		})
+	}
+	return nil
+}

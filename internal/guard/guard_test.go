@@ -1,0 +1,185 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilGovernorIsNoOp(t *testing.T) {
+	var g *Governor
+	if err := g.Check(); err != nil {
+		t.Fatalf("nil Check: %v", err)
+	}
+	if err := g.Boundary(SiteSimChunk, 1<<40); err != nil {
+		t.Fatalf("nil Boundary: %v", err)
+	}
+	ok, err := g.GrowCache(SiteDFAConstruct, 1<<40)
+	if !ok || err != nil {
+		t.Fatalf("nil GrowCache: %v %v", ok, err)
+	}
+	g.ReleaseCache(123)
+	if err := g.CheckActive(1 << 40); err != nil {
+		t.Fatalf("nil CheckActive: %v", err)
+	}
+	if err := g.Inject(SiteKernel); err != nil {
+		t.Fatalf("nil Inject: %v", err)
+	}
+	g.SetInjector(nil)
+	if g.Err() != nil || g.InputBytes() != 0 || g.CacheBytes() != 0 {
+		t.Fatal("nil accessors not zero")
+	}
+	if !g.Budget().Unlimited() {
+		t.Fatal("nil Budget not unlimited")
+	}
+}
+
+func TestInputBytesBudget(t *testing.T) {
+	g := New(nil, Budget{MaxInputBytes: 100})
+	if err := g.Boundary(SiteSimChunk, 60); err != nil {
+		t.Fatalf("first chunk: %v", err)
+	}
+	if err := g.Boundary(SiteSimChunk, 40); err != nil {
+		t.Fatalf("exact budget: %v", err)
+	}
+	err := g.Boundary(SiteSimChunk, 1)
+	trip := AsTrip(err)
+	if trip == nil || trip.Budget != BudgetInputBytes {
+		t.Fatalf("want input-bytes trip, got %v", err)
+	}
+	if trip.Limit != 100 || trip.Actual != 101 || trip.Site != SiteSimChunk {
+		t.Fatalf("trip fields: %+v", trip)
+	}
+	// Sticky: every later check surfaces the same trip.
+	if err2 := g.Check(); err2 != error(trip) {
+		t.Fatalf("sticky check: got %v want %v", err2, trip)
+	}
+	if err2 := g.Boundary(SiteDFAChunk, 1); err2 != error(trip) {
+		t.Fatalf("sticky boundary: got %v want %v", err2, trip)
+	}
+}
+
+func TestCacheBudgetDegradesNotTrips(t *testing.T) {
+	g := New(nil, Budget{MaxCacheBytes: 1000})
+	ok, err := g.GrowCache(SiteDFAConstruct, 600)
+	if !ok || err != nil {
+		t.Fatalf("first grow: %v %v", ok, err)
+	}
+	ok, err = g.GrowCache(SiteDFAConstruct, 600)
+	if ok || err != nil {
+		t.Fatalf("over-budget grow: want denied with nil error, got %v %v", ok, err)
+	}
+	// Denial is not a trip and does not consume the reservation.
+	if g.Err() != nil {
+		t.Fatalf("cache denial recorded a trip: %v", g.Err())
+	}
+	if got := g.CacheBytes(); got != 600 {
+		t.Fatalf("cache bytes after denial: %d want 600", got)
+	}
+	g.ReleaseCache(600)
+	ok, _ = g.GrowCache(SiteDFAConstruct, 900)
+	if !ok {
+		t.Fatal("grow after release should fit")
+	}
+	if err := g.Check(); err != nil {
+		t.Fatalf("run continues after degradation: %v", err)
+	}
+}
+
+func TestActiveSetBudget(t *testing.T) {
+	g := New(nil, Budget{MaxActiveSet: 8})
+	if err := g.CheckActive(8); err != nil {
+		t.Fatalf("at budget: %v", err)
+	}
+	err := g.CheckActive(9)
+	trip := AsTrip(err)
+	if trip == nil || trip.Budget != BudgetActiveSet || trip.Actual != 9 {
+		t.Fatalf("want active-set trip, got %v", err)
+	}
+}
+
+func TestDeadlineBudget(t *testing.T) {
+	g := New(nil, Budget{Timeout: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	err := g.Check()
+	trip := AsTrip(err)
+	if trip == nil || trip.Budget != BudgetDeadline {
+		t.Fatalf("want deadline trip, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline trip must unwrap to context.DeadlineExceeded: %v", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, Budget{})
+	if err := g.Check(); err != nil {
+		t.Fatalf("before cancel: %v", err)
+	}
+	cancel()
+	err := g.Check()
+	trip := AsTrip(err)
+	if trip == nil || trip.Budget != BudgetCanceled {
+		t.Fatalf("want canceled trip, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancel trip must unwrap to context.Canceled: %v", err)
+	}
+}
+
+func TestConcurrentTripConverges(t *testing.T) {
+	g := New(nil, Budget{MaxInputBytes: 1})
+	const workers = 16
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := g.Boundary(SiteSimChunk, 64); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	first := g.Err()
+	if first == nil {
+		t.Fatal("no trip recorded")
+	}
+	for w, err := range errs {
+		if err == nil {
+			t.Fatalf("worker %d saw no error", w)
+		}
+		if err != error(first) {
+			t.Fatalf("worker %d got %v, want sticky %v", w, err, first)
+		}
+	}
+}
+
+func TestTripErrorMessages(t *testing.T) {
+	cases := []struct {
+		trip *TripError
+		want string
+	}{
+		{&TripError{Budget: BudgetInputBytes, Limit: 10, Actual: 11, Site: SiteSimChunk},
+			"guard: input-bytes budget exceeded (limit 10, got 11) at sim.chunk"},
+		{&TripError{Budget: BudgetDeadline, Limit: int64(time.Second)},
+			"guard: deadline budget of 1s exceeded"},
+		{&TripError{Budget: BudgetDeadline, Site: SiteDFAChunk, Injected: true},
+			"guard: deadline exceeded at dfa.chunk (injected)"},
+		{&TripError{Budget: BudgetCanceled}, "guard: run canceled"},
+		{&TripError{Budget: BudgetInjected, Site: SiteKernel, Injected: true},
+			"guard: injected budget trip at experiments.kernel"},
+	}
+	for _, c := range cases {
+		if got := c.trip.Error(); got != c.want {
+			t.Errorf("Error() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package guard
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Injector forces faults at instrumented boundaries for resilience
+// testing. It is armed from a spec string (flag `-faults` or env
+// AZOO_FAULTS) and is deterministic: a given (spec, seed) pair fires the
+// same fault at the same boundary-hit count in every run, at any worker
+// count — per-rule hit counters are global atomics, so the Nth time any
+// worker reaches the site, the rule fires.
+//
+// Spec grammar — comma-separated rules:
+//
+//	kind:site[:n]
+//
+//	kind  panic | deadline | trip
+//	site  a boundary site constant (e.g. "dfa.chunk") or "*" for any
+//	n     1-based hit count at which to fire (default 1); the form
+//	      "~maxN" draws the hit count in [1, maxN] from the seed, so
+//	      soak harnesses can vary the fire point per seed.
+//
+// Examples:
+//
+//	panic:dfa.chunk           panic on the first DFA chunk boundary
+//	deadline:*:3              expire the deadline on the 3rd boundary hit
+//	trip:sim.chunk:~100       trip a budget on a seed-chosen sim chunk
+//
+// A nil *Injector is a valid no-op: the disabled path is a single nil
+// check inlined into Governor.Boundary.
+type Injector struct {
+	rules []injectRule
+}
+
+type injectRule struct {
+	kind string // "panic", "deadline", "trip"
+	site string // site constant or "*"
+	at   int64  // 1-based hit count at which to fire
+	hits atomic.Int64
+}
+
+// Injector fault kinds.
+const (
+	FaultPanic    = "panic"
+	FaultDeadline = "deadline"
+	FaultTrip     = "trip"
+)
+
+// InjectedPanic is the panic value used by the panic fault kind; the
+// parallel layer recovers it into a *parallel.PanicError like any other
+// worker panic.
+type InjectedPanic struct {
+	Site string
+	Hit  int64
+}
+
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("guard: injected panic at %s (hit %d)", p.Site, p.Hit)
+}
+
+// ParseInjector parses a fault spec. seed resolves "~maxN" hit counts;
+// specs without "~" ignore it. An empty spec returns (nil, nil).
+func ParseInjector(spec string, seed uint64) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	inj := &Injector{}
+	for ri, raw := range strings.Split(spec, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		parts := strings.Split(raw, ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("guard: bad fault rule %q: want kind:site[:n]", raw)
+		}
+		kind, site := parts[0], parts[1]
+		switch kind {
+		case FaultPanic, FaultDeadline, FaultTrip:
+		default:
+			return nil, fmt.Errorf("guard: bad fault kind %q in rule %q (want panic, deadline, or trip)", kind, raw)
+		}
+		if site == "" {
+			return nil, fmt.Errorf("guard: empty site in fault rule %q", raw)
+		}
+		at := int64(1)
+		if len(parts) == 3 {
+			ns := parts[2]
+			if maxS, ok := strings.CutPrefix(ns, "~"); ok {
+				maxN, err := strconv.ParseInt(maxS, 10, 64)
+				if err != nil || maxN < 1 {
+					return nil, fmt.Errorf("guard: bad hit bound %q in fault rule %q", ns, raw)
+				}
+				// splitmix64 keyed by seed and rule index: stable across
+				// runs, different per rule.
+				at = 1 + int64(splitmix64(seed+uint64(ri)*0x9e3779b97f4a7c15)%uint64(maxN))
+			} else {
+				n, err := strconv.ParseInt(ns, 10, 64)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("guard: bad hit count %q in fault rule %q", ns, raw)
+				}
+				at = n
+			}
+		}
+		inj.rules = append(inj.rules, injectRule{kind: kind, site: site, at: at})
+	}
+	if len(inj.rules) == 0 {
+		return nil, nil
+	}
+	return inj, nil
+}
+
+// Env variables read by InjectorFromEnv.
+const (
+	EnvFaults    = "AZOO_FAULTS"
+	EnvFaultSeed = "AZOO_FAULT_SEED"
+)
+
+// InjectorFromEnv builds an injector from AZOO_FAULTS / AZOO_FAULT_SEED.
+// Unset AZOO_FAULTS returns (nil, nil).
+func InjectorFromEnv() (*Injector, error) {
+	spec := os.Getenv(EnvFaults)
+	if spec == "" {
+		return nil, nil
+	}
+	var seed uint64
+	if s := os.Getenv(EnvFaultSeed); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("guard: bad %s %q: %v", EnvFaultSeed, s, err)
+		}
+		seed = v
+	}
+	return ParseInjector(spec, seed)
+}
+
+// fire checks every rule against site; a rule fires exactly once, on its
+// at-th matching hit. panic rules panic with InjectedPanic; deadline and
+// trip rules return a *TripError for the governor to record.
+func (inj *Injector) fire(site string) *TripError {
+	if inj == nil {
+		return nil
+	}
+	for i := range inj.rules {
+		r := &inj.rules[i]
+		if r.site != "*" && r.site != site {
+			continue
+		}
+		hit := r.hits.Add(1)
+		if hit != r.at {
+			continue
+		}
+		switch r.kind {
+		case FaultPanic:
+			panic(InjectedPanic{Site: site, Hit: hit})
+		case FaultDeadline:
+			return &TripError{Budget: BudgetDeadline, Site: site, Injected: true}
+		case FaultTrip:
+			return &TripError{Budget: BudgetInjected, Site: site, Injected: true}
+		}
+	}
+	return nil
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

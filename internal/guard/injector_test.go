@@ -1,0 +1,157 @@
+package guard
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseInjectorEmpty(t *testing.T) {
+	for _, spec := range []string{"", "  ", ",", " , "} {
+		inj, err := ParseInjector(spec, 0)
+		if inj != nil || err != nil {
+			t.Fatalf("ParseInjector(%q) = %v, %v; want nil, nil", spec, inj, err)
+		}
+	}
+}
+
+func TestParseInjectorErrors(t *testing.T) {
+	bad := []string{
+		"panic",             // missing site
+		"explode:sim.chunk", // unknown kind
+		"panic::3",          // empty site
+		"panic:sim.chunk:0", // hit count < 1
+		"panic:sim.chunk:x", // non-numeric
+		"panic:sim.chunk:~", // empty bound
+		"panic:sim.chunk:~0",
+		"panic:a:b:c", // too many fields
+	}
+	for _, spec := range bad {
+		if _, err := ParseInjector(spec, 0); err == nil {
+			t.Errorf("ParseInjector(%q): want error, got nil", spec)
+		}
+	}
+}
+
+func TestTripRuleFiresOnceAtHit(t *testing.T) {
+	inj, err := ParseInjector("trip:sim.chunk:3", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.fire("dfa.chunk") != nil {
+		t.Fatal("fired at wrong site")
+	}
+	if inj.fire("sim.chunk") != nil || inj.fire("sim.chunk") != nil {
+		t.Fatal("fired before hit 3")
+	}
+	trip := inj.fire("sim.chunk")
+	if trip == nil || trip.Budget != BudgetInjected || !trip.Injected || trip.Site != "sim.chunk" {
+		t.Fatalf("hit 3: got %+v", trip)
+	}
+	if inj.fire("sim.chunk") != nil {
+		t.Fatal("rule fired twice")
+	}
+}
+
+func TestDeadlineRuleAndWildcard(t *testing.T) {
+	inj, err := ParseInjector("deadline:*:2", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.fire("sim.chunk") != nil {
+		t.Fatal("fired on first hit")
+	}
+	trip := inj.fire("dfa.chunk")
+	if trip == nil || trip.Budget != BudgetDeadline || !trip.Injected {
+		t.Fatalf("wildcard hit 2: got %+v", trip)
+	}
+}
+
+func TestPanicRulePanicsWithInjectedPanic(t *testing.T) {
+	inj, err := ParseInjector("panic:experiments.kernel", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		v := recover()
+		ip, ok := v.(InjectedPanic)
+		if !ok {
+			t.Fatalf("recovered %T %v, want InjectedPanic", v, v)
+		}
+		if ip.Site != "experiments.kernel" || ip.Hit != 1 {
+			t.Fatalf("panic value: %+v", ip)
+		}
+		if !strings.Contains(ip.String(), "injected panic") {
+			t.Fatalf("String(): %q", ip.String())
+		}
+	}()
+	inj.fire("experiments.kernel")
+	t.Fatal("did not panic")
+}
+
+func TestSeededHitIsDeterministicAndBounded(t *testing.T) {
+	hitAt := func(seed uint64) int64 {
+		inj, err := ParseInjector("trip:sim.chunk:~50", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(1); i <= 50; i++ {
+			if inj.fire("sim.chunk") != nil {
+				return i
+			}
+		}
+		t.Fatal("seeded rule never fired within bound")
+		return 0
+	}
+	seen := map[int64]bool{}
+	for seed := uint64(0); seed < 20; seed++ {
+		a, b := hitAt(seed), hitAt(seed)
+		if a != b {
+			t.Fatalf("seed %d: hit %d then %d, not deterministic", seed, a, b)
+		}
+		if a < 1 || a > 50 {
+			t.Fatalf("seed %d: hit %d out of [1,50]", seed, a)
+		}
+		seen[a] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("all 20 seeds chose the same hit; seed not mixed in")
+	}
+}
+
+func TestInjectorFromEnv(t *testing.T) {
+	t.Setenv(EnvFaults, "")
+	if inj, err := InjectorFromEnv(); inj != nil || err != nil {
+		t.Fatalf("unset env: %v %v", inj, err)
+	}
+	t.Setenv(EnvFaults, "trip:sim.chunk:2")
+	t.Setenv(EnvFaultSeed, "11")
+	inj, err := InjectorFromEnv()
+	if err != nil || inj == nil {
+		t.Fatalf("armed env: %v %v", inj, err)
+	}
+	t.Setenv(EnvFaultSeed, "not-a-number")
+	if _, err := InjectorFromEnv(); err == nil {
+		t.Fatal("bad seed: want error")
+	}
+}
+
+func TestGovernorInjectFoldsTrip(t *testing.T) {
+	inj, err := ParseInjector("trip:experiments.kernel", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(nil, Budget{})
+	g.SetInjector(inj)
+	e := g.Inject(SiteKernel)
+	trip := AsTrip(e)
+	if trip == nil || trip.Budget != BudgetInjected {
+		t.Fatalf("inject: got %v", e)
+	}
+	// Sticky via every other path too.
+	if g.Check() == nil || g.Err() == nil {
+		t.Fatal("injected trip not sticky")
+	}
+	if ok, err := g.GrowCache(SiteDFAConstruct, 1); ok || err == nil {
+		t.Fatal("GrowCache must refuse after a sticky trip")
+	}
+}

@@ -1,0 +1,65 @@
+package mnrl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzMNRLLoad throws arbitrary documents at the hardened loader. The
+// contract under fuzzing is total: ReadAutomaton either returns an
+// automaton or an error — it never panics, whatever the bytes — and any
+// document it does accept must round-trip (export, re-import) cleanly.
+// The seed corpus covers every malformed class the loader rejects by
+// construction plus a valid network to seed structural mutations.
+func FuzzMNRLLoad(f *testing.F) {
+	seeds := []string{
+		// Valid two-state network with a counter: the mutation anchor.
+		`{"id":"ok","nodes":[
+			{"id":"a","type":"hState","enable":"always","symbolSet":"[\\x61-\\x63]","activateOnMatch":["c"]},
+			{"id":"b","type":"hState","symbolSet":"*","report":true,"reportId":7,"activateOnMatch":[]},
+			{"id":"c","type":"upCounter","threshold":3,"mode":"latch","activateOnMatch":["b"]}]}`,
+		// Duplicate ids.
+		`{"id":"n","nodes":[
+			{"id":"a","type":"hState","symbolSet":"[\\x61]","activateOnMatch":[]},
+			{"id":"a","type":"hState","symbolSet":"[\\x62]","activateOnMatch":[]}]}`,
+		// Dangling connection.
+		`{"id":"n","nodes":[{"id":"a","type":"hState","symbolSet":"[\\x61]","activateOnMatch":["ghost"]}]}`,
+		// Unknown type / enable / mode.
+		`{"id":"n","nodes":[{"id":"a","type":"quantum","activateOnMatch":[]}]}`,
+		`{"id":"n","nodes":[{"id":"a","type":"hState","enable":"onFullMoon","symbolSet":"[\\x61]","activateOnMatch":[]}]}`,
+		`{"id":"n","nodes":[{"id":"a","type":"upCounter","mode":"sideways","threshold":1,"activateOnMatch":[]}]}`,
+		// Zero and absurd counter thresholds.
+		`{"id":"n","nodes":[{"id":"c","type":"upCounter","threshold":0,"activateOnMatch":[]}]}`,
+		`{"id":"n","nodes":[{"id":"c","type":"upCounter","threshold":4000000000,"activateOnMatch":[]}]}`,
+		// Bad symbol sets: unterminated, bad hex, inverted range.
+		`{"id":"n","nodes":[{"id":"a","type":"hState","symbolSet":"[zz","activateOnMatch":[]}]}`,
+		`{"id":"n","nodes":[{"id":"a","type":"hState","symbolSet":"[\\xgg]","activateOnMatch":[]}]}`,
+		`{"id":"n","nodes":[{"id":"a","type":"hState","symbolSet":"[\\x62-\\x61]","activateOnMatch":[]}]}`,
+		// Deep nesting and truncated JSON.
+		strings.Repeat("[", 300),
+		`{"id":"n","nodes":[{"id":`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, doc []byte) {
+		a, err := ReadAutomaton(bytes.NewReader(doc))
+		if err != nil {
+			return
+		}
+		// Accepted documents must survive an export/import round trip.
+		var buf bytes.Buffer
+		if err := WriteAutomaton(&buf, a, "roundtrip"); err != nil {
+			t.Fatalf("export of accepted network failed: %v", err)
+		}
+		b, err := ReadAutomaton(&buf)
+		if err != nil {
+			t.Fatalf("re-import of exported network failed: %v", err)
+		}
+		if a.NumStates() != b.NumStates() || a.NumEdges() != b.NumEdges() {
+			t.Fatalf("round trip changed shape: %d/%d states, %d/%d edges",
+				a.NumStates(), b.NumStates(), a.NumEdges(), b.NumEdges())
+		}
+	})
+}

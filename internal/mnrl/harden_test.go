@@ -1,0 +1,110 @@
+package mnrl
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every malformed document class the loader hardens against must come
+// back as an error naming the offending node — never a panic, never a
+// silently-built automaton.
+func TestLoadRejectsMalformed(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		doc  string
+		want string // substring of the error
+	}{
+		{"duplicate-id",
+			`{"id":"n","nodes":[
+				{"id":"a","type":"hState","symbolSet":"[\\x61]","activateOnMatch":[]},
+				{"id":"a","type":"hState","symbolSet":"[\\x62]","activateOnMatch":[]}]}`,
+			`duplicate node id "a"`},
+		{"dangling-ref",
+			`{"id":"n","nodes":[
+				{"id":"a","type":"hState","symbolSet":"[\\x61]","activateOnMatch":["ghost"]}]}`,
+			`activates unknown node "ghost"`},
+		{"unknown-type",
+			`{"id":"n","nodes":[{"id":"a","type":"quantum","activateOnMatch":[]}]}`,
+			`unknown type "quantum"`},
+		{"unknown-enable",
+			`{"id":"n","nodes":[
+				{"id":"a","type":"hState","enable":"onFullMoon","symbolSet":"[\\x61]","activateOnMatch":[]}]}`,
+			`unknown enable "onFullMoon"`},
+		{"unknown-mode",
+			`{"id":"n","nodes":[
+				{"id":"a","type":"upCounter","mode":"sideways","threshold":3,"activateOnMatch":[]}]}`,
+			`unknown mode "sideways"`},
+		{"zero-threshold",
+			`{"id":"n","nodes":[{"id":"c","type":"upCounter","threshold":0,"activateOnMatch":[]}]}`,
+			"node c: counter threshold must be positive"},
+		{"absurd-threshold",
+			`{"id":"n","nodes":[{"id":"c","type":"upCounter","threshold":2000000000,"activateOnMatch":[]}]}`,
+			"node c: counter threshold 2000000000 exceeds"},
+		{"bad-symbol-set",
+			`{"id":"n","nodes":[{"id":"a","type":"hState","symbolSet":"[zz","activateOnMatch":[]}]}`,
+			"bad symbol set"},
+		{"bad-symbol-hex",
+			`{"id":"n","nodes":[{"id":"a","type":"hState","symbolSet":"[\\xgg]","activateOnMatch":[]}]}`,
+			"bad hex"},
+		{"inverted-range",
+			`{"id":"n","nodes":[{"id":"a","type":"hState","symbolSet":"[\\x62-\\x61]","activateOnMatch":[]}]}`,
+			"inverted range"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadAutomaton(strings.NewReader(tc.doc))
+			if err == nil {
+				t.Fatalf("accepted malformed document:\n%s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestReadLimitedDepth(t *testing.T) {
+	// 200 nested arrays would recurse 200 deep in encoding/json; the
+	// pre-scan must reject it before decoding.
+	doc := strings.Repeat("[", 200) + strings.Repeat("]", 200)
+	if _, err := ReadLimited(strings.NewReader(doc), Limits{}); err == nil ||
+		!strings.Contains(err.Error(), "nesting depth") {
+		t.Fatalf("deep nesting not rejected: %v", err)
+	}
+	// Brackets inside strings don't nest: this is depth 2, not 50.
+	doc = `{"id":"` + strings.Repeat("[{", 24) + `","nodes":[]}`
+	if _, err := ReadLimited(strings.NewReader(doc), Limits{MaxDepth: 3}); err != nil {
+		t.Fatalf("string-interior brackets counted as nesting: %v", err)
+	}
+	// An escaped quote doesn't end the string.
+	doc = `{"id":"a\"` + strings.Repeat("[", 24) + `","nodes":[]}`
+	if _, err := ReadLimited(strings.NewReader(doc), Limits{MaxDepth: 3}); err != nil {
+		t.Fatalf("escape-aware scan failed: %v", err)
+	}
+}
+
+func TestReadLimitedDocBytes(t *testing.T) {
+	doc := `{"id":"` + strings.Repeat("x", 100) + `","nodes":[]}`
+	if _, err := ReadLimited(strings.NewReader(doc), Limits{MaxDocBytes: 50}); err == nil ||
+		!strings.Contains(err.Error(), "exceeds 50 bytes") {
+		t.Fatalf("oversized document not rejected: %v", err)
+	}
+	if _, err := ReadLimited(strings.NewReader(doc), Limits{}); err != nil {
+		t.Fatalf("default limits rejected a tiny document: %v", err)
+	}
+}
+
+func TestReadLimitedMaxNodes(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(`{"id":"n","nodes":[`)
+	for i := 0; i < 5; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(`{"id":"s` + string(rune('0'+i)) + `","type":"hState","symbolSet":"[\\x61]","activateOnMatch":[]}`)
+	}
+	sb.WriteString(`]}`)
+	if _, err := ReadLimited(strings.NewReader(sb.String()), Limits{MaxNodes: 4}); err == nil ||
+		!strings.Contains(err.Error(), "5 nodes exceeds 4") {
+		t.Fatalf("node cap not enforced: %v", err)
+	}
+}

@@ -1,0 +1,109 @@
+package mnrl
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// Limits bounds what a single MNRL document may ask the loader to build.
+// Benchmark files are adversarial inputs in practice — they arrive from
+// other toolchains, get hand-edited, and feed fuzzers — so the loader
+// enforces hard ceilings and returns errors instead of exhausting memory
+// or panicking. The zero value of any field means "use the default".
+type Limits struct {
+	MaxDocBytes      int64  // JSON document size (default 64 MiB)
+	MaxDepth         int    // JSON nesting depth (default 64)
+	MaxNodes         int    // nodes per network (default 4Mi)
+	MaxCounterTarget uint32 // upCounter threshold ceiling (default 1<<30)
+}
+
+// DefaultLimits returns the ceilings ReadLimited applies when a field is
+// zero. They are far above any real benchmark (the largest AutomataZoo
+// network is ~100k states) while keeping a hostile document from
+// committing gigabytes.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxDocBytes:      64 << 20,
+		MaxDepth:         64,
+		MaxNodes:         4 << 20,
+		MaxCounterTarget: 1 << 30,
+	}
+}
+
+func (l Limits) normalized() Limits {
+	d := DefaultLimits()
+	if l.MaxDocBytes <= 0 {
+		l.MaxDocBytes = d.MaxDocBytes
+	}
+	if l.MaxDepth <= 0 {
+		l.MaxDepth = d.MaxDepth
+	}
+	if l.MaxNodes <= 0 {
+		l.MaxNodes = d.MaxNodes
+	}
+	if l.MaxCounterTarget == 0 {
+		l.MaxCounterTarget = d.MaxCounterTarget
+	}
+	return l
+}
+
+// ReadLimited parses a network from JSON under the given limits: the
+// document is size-capped, depth-checked before decoding (encoding/json
+// recurses per nesting level, so absurd nesting must be rejected up
+// front), and node-count-capped after.
+func ReadLimited(r io.Reader, lim Limits) (*Network, error) {
+	lim = lim.normalized()
+	doc, err := io.ReadAll(io.LimitReader(r, lim.MaxDocBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("mnrl: %w", err)
+	}
+	if int64(len(doc)) > lim.MaxDocBytes {
+		return nil, fmt.Errorf("mnrl: document exceeds %d bytes", lim.MaxDocBytes)
+	}
+	if d := scanDepth(doc); d > lim.MaxDepth {
+		return nil, fmt.Errorf("mnrl: JSON nesting depth %d exceeds %d", d, lim.MaxDepth)
+	}
+	n, err := Read(bytes.NewReader(doc))
+	if err != nil {
+		return nil, err
+	}
+	if len(n.Nodes) > lim.MaxNodes {
+		return nil, fmt.Errorf("mnrl: %d nodes exceeds %d", len(n.Nodes), lim.MaxNodes)
+	}
+	return n, nil
+}
+
+// scanDepth returns the maximum {}/[] nesting depth of doc without
+// decoding it. The scan is string- and escape-aware: brackets inside JSON
+// strings don't nest, and an escaped quote doesn't end a string. Malformed
+// input yields a best-effort depth — the decoder reports the real error.
+func scanDepth(doc []byte) int {
+	depth, max := 0, 0
+	inStr, esc := false, false
+	for _, c := range doc {
+		if inStr {
+			switch {
+			case esc:
+				esc = false
+			case c == '\\':
+				esc = true
+			case c == '"':
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inStr = true
+		case '{', '[':
+			depth++
+			if depth > max {
+				max = depth
+			}
+		case '}', ']':
+			depth--
+		}
+	}
+	return max
+}

@@ -130,6 +130,12 @@ func Import(n *Network) (*automata.Automaton, error) {
 			default:
 				return nil, fmt.Errorf("mnrl: node %s: unknown mode %q", node.ID, node.Mode)
 			}
+			if node.Threshold == 0 {
+				return nil, fmt.Errorf("mnrl: node %s: counter threshold must be positive", node.ID)
+			}
+			if max := DefaultLimits().MaxCounterTarget; node.Threshold > max {
+				return nil, fmt.Errorf("mnrl: node %s: counter threshold %d exceeds %d", node.ID, node.Threshold, max)
+			}
 			ids[node.ID] = b.AddCounter(node.Threshold, mode)
 		default:
 			return nil, fmt.Errorf("mnrl: node %s: unknown type %q", node.ID, node.Type)
@@ -174,9 +180,10 @@ func WriteAutomaton(w io.Writer, a *automata.Automaton, id string) error {
 	return Export(a, id).Write(w)
 }
 
-// ReadAutomaton is Read followed by Import.
+// ReadAutomaton is ReadLimited (under DefaultLimits) followed by Import —
+// the hardened entry point for loading benchmark files from disk.
 func ReadAutomaton(r io.Reader) (*automata.Automaton, error) {
-	n, err := Read(r)
+	n, err := ReadLimited(r, Limits{})
 	if err != nil {
 		return nil, err
 	}

@@ -27,11 +27,30 @@
 // mutable state except through their own index. With workers == 1
 // everything runs inline on the caller's goroutine in index order — the
 // exact sequential behaviour, with no goroutines spawned.
+//
+// # Panic isolation
+//
+// A panic inside an item function is recovered at the worker boundary and
+// converted to a *PanicError carrying the panic value, the item index,
+// and the goroutine stack. It then follows the normal error path
+// (lowest-index wins, no new items start), so one crashing kernel fails
+// its row instead of the process. This holds on the inline workers == 1
+// path too.
+//
+// # Cancellation observability
+//
+// ForEach checks ctx only between item claims; a long-running item will
+// not observe a mid-run cancellation by itself. Items that stream large
+// inputs should use ForEachCtx, which hands the same ctx to each item so
+// it can check ctx.Err() (or thread it into a guard.Governor) at its own
+// chunk boundaries.
 package parallel
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -45,15 +64,49 @@ func Workers(n int) int {
 	return n
 }
 
+// PanicError is a panic recovered at the worker boundary: the item index
+// that panicked, the recovered value, and the stack captured at recovery.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: item %d panicked: %v", e.Index, e.Value)
+}
+
+// safeCall invokes fn(ctx, i), converting a panic into a *PanicError.
+func safeCall(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i)
+}
+
 // ForEach runs fn(i) for every i in [0, n) on up to workers goroutines.
 //
 // On failure, no new items are started and the error of the lowest-index
-// failed item is returned; in-flight items finish first. If ctx is
+// failed item is returned; in-flight items finish first. A panicking item
+// fails with a *PanicError instead of crashing the process. If ctx is
 // cancelled before all items run, unstarted items are skipped and
 // ctx.Err() is returned (an item error still takes precedence). With
 // workers == 1 (or n == 1) items run inline in index order and the first
 // error returns immediately, matching a plain sequential loop.
 func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return ForEachCtx(ctx, workers, n, func(_ context.Context, i int) error {
+		return fn(i)
+	})
+}
+
+// ForEachCtx is ForEach for items that want to observe cancellation
+// mid-item: fn receives the pool's ctx so a streaming item can check
+// ctx.Err() at its own chunk boundaries instead of only between claims.
+// All other semantics (ordering, lowest-index error, panic isolation)
+// are identical to ForEach.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -66,7 +119,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := safeCall(ctx, i, fn); err != nil {
 				return err
 			}
 		}
@@ -101,7 +154,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := safeCall(ctx, i, fn); err != nil {
 					record(i, err)
 					return
 				}
@@ -120,9 +173,16 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 // those of ForEach; on a non-nil error the returned slice holds the
 // results of the items that did complete (zero values elsewhere).
 func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(ctx, workers, n, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	})
+}
+
+// MapCtx is Map with ForEachCtx's mid-item cancellation observability.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(ctx, workers, n, func(i int) error {
-		v, err := fn(i)
+	err := ForEachCtx(ctx, workers, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
 		if err != nil {
 			return err
 		}

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"automatazoo/internal/automata"
+	"automatazoo/internal/guard"
 	"automatazoo/internal/parallel"
 	"automatazoo/internal/sim"
 	"automatazoo/internal/telemetry"
@@ -211,6 +212,11 @@ type RunOptions struct {
 	// three nodes (each worker records into a fork adopted in slice-index
 	// order), so the span tree is deterministic at any worker count.
 	Spans *telemetry.Spans
+	// Governor, if non-nil, bounds the run: every slice checks in at the
+	// partition.slice boundary before extracting, and each slice engine
+	// runs governed (per-chunk budget checks, see sim.RunChecked). One
+	// budget trip stops all slices cooperatively; the error is the trip.
+	Governor *guard.Governor
 }
 
 // RunParallel executes input once per slice, fanning the slices out over
@@ -224,8 +230,10 @@ type RunOptions struct {
 // by emission order within the slice — exactly RunSequential's report
 // stream stably sorted by offset. Result is identical to RunSequential's.
 //
-// ctx cancellation abandons unstarted slices and returns ctx.Err(); no
-// reports are delivered on error.
+// ctx cancellation abandons unstarted slices and returns ctx.Err(); a
+// cancellable ctx is additionally observed mid-slice at engine chunk
+// boundaries (a long input stops within ~4 KiB of the cancellation, not
+// at the end of the pass). No reports are delivered on error.
 func (p *Plan) RunParallel(ctx context.Context, workers int, input []byte, onReport func(sim.Report)) (Result, error) {
 	return p.Run(ctx, input, RunOptions{Workers: workers, OnReport: onReport})
 }
@@ -235,6 +243,14 @@ func (p *Plan) RunParallel(ctx context.Context, workers int, input []byte, onRep
 func (p *Plan) Run(ctx context.Context, input []byte, opts RunOptions) (Result, error) {
 	res := Result{Passes: p.Passes()}
 	stats := make([]sim.Stats, len(p.Slices))
+	// A cancellable ctx without an explicit governor still gets mid-slice
+	// cancellation observability: wrap it in a budget-free governor so the
+	// slice engines check ctx at chunk boundaries. context.Background()
+	// (Done() == nil) keeps the exact ungoverned path.
+	gov := opts.Governor
+	if gov == nil && ctx != nil && ctx.Done() != nil {
+		gov = guard.New(ctx, guard.Budget{})
+	}
 	var buffered [][]sim.Report
 	if opts.OnReport != nil {
 		buffered = make([][]sim.Report, len(p.Slices))
@@ -251,6 +267,9 @@ func (p *Plan) Run(ctx context.Context, input []byte, opts RunOptions) (Result, 
 		}
 	}
 	err := parallel.ForEach(ctx, opts.Workers, len(p.Slices), func(i int) error {
+		if err := gov.Boundary(guard.SitePartitionSlice, 0); err != nil {
+			return err
+		}
 		var ss *telemetry.Spans
 		if sliceSpans != nil {
 			ss = sliceSpans[i]
@@ -264,23 +283,28 @@ func (p *Plan) Run(ctx context.Context, input []byte, opts RunOptions) (Result, 
 		e := sim.New(sub)
 		e.SetRegistry(opts.Registry)
 		e.SetTracer(opts.Tracer)
+		e.SetGovernor(gov)
 		if buffered != nil {
 			e.OnReport = func(r sim.Report) { buffered[i] = append(buffered[i], r) }
 		}
 		rsp := ss.Start("scan")
-		stats[i] = e.Run(input)
+		st, err := e.RunChecked(input)
 		rsp.End()
-		return nil
+		stats[i] = st
+		return err
 	})
-	if err != nil {
-		root.End()
-		return res, err
-	}
+	// Adopt the per-slice span forks and sum stats on the error path too:
+	// a truncated run still reports its partial phase spans and work done
+	// (ForEach has waited for in-flight slices, so the forks are settled).
 	for i := range sliceSpans {
 		root.Adopt(sliceSpans[i])
 	}
 	for _, st := range stats {
 		res.add(st)
+	}
+	if err != nil {
+		root.End()
+		return res, err
 	}
 	if buffered != nil {
 		msp := root.Start("merge")

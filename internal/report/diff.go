@@ -62,14 +62,30 @@ type Diff struct {
 	OnlyOld     []string // kernels present only in the old manifest
 	OnlyNew     []string
 	Regressions []string // names of kernels flagged as regressions
+
+	// Truncated is set when either manifest was truncated by the run
+	// governor. Throughput deltas from a partial run are meaningless, so
+	// regression flagging is suppressed and Write warns instead.
+	Truncated      bool
+	TruncatedSides []string // "old" and/or "new", for the warning line
 }
 
 // Compare aligns two manifests kernel-by-kernel (by name, in the new
 // manifest's order) and flags every kernel whose mean throughput dropped
 // by more than threshold (a fraction: 0.05 = 5%). Kernels without
-// throughput on both sides are compared structurally only.
+// throughput on both sides are compared structurally only. If either
+// manifest is Truncated the structural comparison still runs, but no
+// kernel is flagged as a regression.
 func Compare(oldM, newM *Manifest, threshold float64) *Diff {
 	d := &Diff{Threshold: threshold}
+	if oldM.Truncated {
+		d.Truncated = true
+		d.TruncatedSides = append(d.TruncatedSides, "old")
+	}
+	if newM.Truncated {
+		d.Truncated = true
+		d.TruncatedSides = append(d.TruncatedSides, "new")
+	}
 	oldSeen := map[string]bool{}
 	for _, k := range newM.Kernels {
 		ok := oldM.Kernel(k.Name)
@@ -88,7 +104,7 @@ func Compare(oldM, newM *Manifest, threshold float64) *Diff {
 			kd.HasThroughput = true
 			kd.OldMean = ok.Throughput.Mean
 			kd.NewMean = k.Throughput.Mean
-			if kd.OldMean > 0 && kd.NewMean < kd.OldMean*(1-threshold) {
+			if !d.Truncated && kd.OldMean > 0 && kd.NewMean < kd.OldMean*(1-threshold) {
 				kd.Regression = true
 				d.Regressions = append(d.Regressions, k.Name)
 			}
@@ -200,6 +216,11 @@ func (d *Diff) Write(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "%-24s added (present only in new manifest)\n", name); err != nil {
 			return err
 		}
+	}
+	if d.Truncated {
+		_, err := fmt.Fprintf(w, "\nwarning: %s manifest truncated by the run governor; regression check skipped\n",
+			strings.Join(d.TruncatedSides, " and "))
+		return err
 	}
 	if d.HasRegressions() {
 		_, err := fmt.Fprintf(w, "\n%d kernel(s) regressed beyond %.1f%%: %s\n",

@@ -74,6 +74,15 @@ type Manifest struct {
 	Kernels       []KernelRow              `json:"kernels"`
 	Spans         []telemetry.SpanSnapshot `json:"spans,omitempty"`
 	Metrics       *telemetry.Snapshot      `json:"metrics,omitempty"`
+
+	// Truncated marks a run the governor stopped early: a budget tripped,
+	// the deadline expired, or the context was cancelled. The manifest is
+	// still valid — kernels, spans, and metrics describe the work completed
+	// before the stop — but its numbers are partial, so benchdiff skips
+	// regression flagging against it. TrippedBudget names the budget that
+	// stopped the run (guard.TripError.Budget).
+	Truncated     bool   `json:"truncated,omitempty"`
+	TrippedBudget string `json:"tripped_budget,omitempty"`
 }
 
 // WriteJSON writes the manifest as indented, deterministic JSON.

@@ -27,6 +27,7 @@ import (
 
 	"automatazoo/internal/automata"
 	"automatazoo/internal/charset"
+	"automatazoo/internal/guard"
 	"automatazoo/internal/telemetry"
 )
 
@@ -156,6 +157,12 @@ type Engine struct {
 	// is opened outside the per-symbol loop, so the disabled path stays a
 	// nil-receiver no-op with zero allocations (see the allocguard test).
 	spans *telemetry.Spans
+
+	// gov, when attached, bounds the run: RunChecked consumes the input
+	// in chunks and asks the governor for permission at each chunk
+	// boundary. Like spans it is outside telemetryOn — the ungoverned
+	// RunChecked path is byte-for-byte the Run loop.
+	gov *guard.Governor
 }
 
 // Options tune the engine's internal strategies; the zero value is the
@@ -261,6 +268,10 @@ func (e *Engine) syncTelemetryOn() {
 // per segment).
 func (e *Engine) SetSpans(s *telemetry.Spans) { e.spans = s }
 
+// SetGovernor attaches a run governor (nil detaches). Budgets are
+// enforced only by RunChecked; bare Run/Step calls stay ungoverned.
+func (e *Engine) SetGovernor(g *guard.Governor) { e.gov = g }
+
 // SetRegistry attaches a metrics registry (nil detaches). Aggregate run
 // statistics are flushed to the sim.* counters at the end of every Run
 // (and on Reset), and the per-symbol enabled-frontier size is observed
@@ -353,6 +364,46 @@ func (e *Engine) Run(input []byte) Stats {
 	}
 	sp.End()
 	return e.stats
+}
+
+// govChunk is the governed input granularity: budgets and cancellation
+// are observed every govChunk symbols — cheap enough to be invisible,
+// fine enough that a tripped run overruns its budget by at most one
+// chunk.
+const govChunk = 4096
+
+// RunChecked is Run under the attached governor: the input is consumed
+// in govChunk-sized chunks with a guard boundary (fault injection,
+// deadline/cancellation, input-byte accounting) before each chunk and an
+// active-set check after it. On a budget trip the run stops between
+// chunks and the partial statistics are returned with the *guard.TripError.
+// With no governor attached it is exactly Run.
+func (e *Engine) RunChecked(input []byte) (Stats, error) {
+	if e.gov == nil {
+		return e.Run(input), nil
+	}
+	sp := e.spans.Start("sim.run")
+	var err error
+	for off := 0; off < len(input); off += govChunk {
+		end := off + govChunk
+		if end > len(input) {
+			end = len(input)
+		}
+		if err = e.gov.Boundary(guard.SiteSimChunk, int64(end-off)); err != nil {
+			break
+		}
+		for _, b := range input[off:end] {
+			e.Step(b)
+		}
+		if err = e.gov.CheckActive(int64(len(e.frontier))); err != nil {
+			break
+		}
+	}
+	if e.reg != nil {
+		e.flushStats()
+	}
+	sp.End()
+	return e.stats, err
 }
 
 func (e *Engine) emit(id automata.StateID) {

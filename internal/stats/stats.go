@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"automatazoo/internal/automata"
+	"automatazoo/internal/guard"
 	"automatazoo/internal/partition"
 	"automatazoo/internal/sim"
 	"automatazoo/internal/telemetry"
@@ -116,6 +117,16 @@ func SimulateSegments(a *automata.Automaton, segments [][]byte) Dynamic {
 // registry's sim.* counters; reg may be shared across calls (the deltas
 // this call contributed are what's reported).
 func ObserveSegments(a *automata.Automaton, segments [][]byte, reg *telemetry.Registry, tr telemetry.Tracer) Dynamic {
+	d, _ := ObserveSegmentsGoverned(a, segments, reg, tr, nil)
+	return d
+}
+
+// ObserveSegmentsGoverned is ObserveSegments under a run governor: each
+// segment runs via the engine's checked path, so budgets, cancellation,
+// and injected faults stop the simulation mid-stream. On a trip the
+// Dynamic derived from the work completed so far is returned with the
+// error. A nil governor is exactly ObserveSegments.
+func ObserveSegmentsGoverned(a *automata.Automaton, segments [][]byte, reg *telemetry.Registry, tr telemetry.Tracer, gov *guard.Governor) (Dynamic, error) {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
@@ -123,14 +134,18 @@ func ObserveSegments(a *automata.Automaton, segments [][]byte, reg *telemetry.Re
 	e := sim.New(a)
 	e.SetRegistry(reg)
 	e.SetTracer(tr)
+	e.SetGovernor(gov)
+	var err error
 	for _, seg := range segments {
 		e.Reset()
-		e.Run(seg)
+		if _, err = e.RunChecked(seg); err != nil {
+			break
+		}
 	}
 	after := simCounters(reg)
 	return dynamicFrom(
 		after[0]-before[0], after[1]-before[1],
-		after[2]-before[2], after[3]-before[3])
+		after[2]-before[2], after[3]-before[3]), err
 }
 
 // ObserveSegmentsParallel computes the same Dynamic profile as
@@ -146,14 +161,22 @@ func ObserveSegments(a *automata.Automaton, segments [][]byte, reg *telemetry.Re
 // count depends on workers). tr must be safe for concurrent use
 // (telemetry.NDJSON is).
 func ObserveSegmentsParallel(ctx context.Context, a *automata.Automaton, segments [][]byte, workers int, reg *telemetry.Registry, tr telemetry.Tracer) (Dynamic, error) {
+	return ObserveSegmentsParallelGoverned(ctx, a, segments, workers, reg, tr, nil)
+}
+
+// ObserveSegmentsParallelGoverned is ObserveSegmentsParallel under a run
+// governor shared by every slice engine (see partition.RunOptions). On a
+// trip the Dynamic derived from completed segments is returned with the
+// error. A nil governor is exactly ObserveSegmentsParallel.
+func ObserveSegmentsParallelGoverned(ctx context.Context, a *automata.Automaton, segments [][]byte, workers int, reg *telemetry.Registry, tr telemetry.Tracer, gov *guard.Governor) (Dynamic, error) {
 	plan := partition.ForWorkers(a, workers)
 	var streamSymbols, active, enabled, reports int64
 	for _, seg := range segments {
 		res, err := plan.Run(ctx, seg, partition.RunOptions{
-			Workers: workers, Registry: reg, Tracer: tr,
+			Workers: workers, Registry: reg, Tracer: tr, Governor: gov,
 		})
 		if err != nil {
-			return Dynamic{}, err
+			return dynamicFrom(streamSymbols, active, enabled, reports), err
 		}
 		streamSymbols += int64(len(seg))
 		active += res.Active

@@ -1,0 +1,71 @@
+package automatazoo_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Library code must return errors, never kill the process: log.Fatal*,
+// log.Panic*, and os.Exit are reserved for the binaries under cmd/ and
+// examples/. This is the enforcement half of the resilience contract —
+// the run governor can only guarantee "every fault surfaces as a
+// structured error" if no internal package can bypass error propagation
+// by exiting. (Test files are exempt: testing's own FailNow machinery is
+// the right tool there.)
+func TestNoProcessExitInLibraryCode(t *testing.T) {
+	fset := token.NewFileSet()
+	var violations []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "cmd" || name == "examples" || name == "testdata" || strings.HasPrefix(name, ".") && name != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn := sel.Sel.Name
+			banned := (pkg.Name == "log" && (strings.HasPrefix(fn, "Fatal") || strings.HasPrefix(fn, "Panic"))) ||
+				(pkg.Name == "os" && fn == "Exit")
+			if banned {
+				violations = append(violations,
+					fset.Position(call.Pos()).String()+": "+pkg.Name+"."+fn)
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Errorf("library code calls a process-killing function: %s", v)
+	}
+}
