@@ -14,9 +14,19 @@ NEW ?=
 # plain `go test`; this budget buys mutation time on top.
 FUZZTIME ?= 10s
 
-.PHONY: ci build vet fmt-check test race race-parallel allocguard fuzz-short fault-soak difftest-soak bench bench-engines bench-parallel bench-snapshot benchdiff clean
+# benchdiff-ci knobs: the checked-in baseline, the kernel set and suite
+# parameters it was recorded with (keep in sync when regenerating), and a
+# generous regression threshold — CI machines vary far more than the <5%
+# gate used for like-for-like comparisons on one box.
+BENCHDIFF_CI_BASELINE ?= BENCH_ci.json
+BENCHDIFF_CI_KERNELS ?= Brill,Hamming 18x3
+BENCHDIFF_CI_SCALE ?= 0.02
+BENCHDIFF_CI_INPUT ?= 100000
+BENCHDIFF_CI_THRESHOLD ?= 40%
 
-ci: vet fmt-check build test race-parallel race allocguard fuzz-short fault-soak
+.PHONY: ci build vet fmt-check test race race-parallel allocguard prometheus-golden fuzz-short fault-soak difftest-soak bench bench-engines bench-parallel bench-snapshot benchdiff benchdiff-ci clean
+
+ci: vet fmt-check build test race-parallel race allocguard prometheus-golden fuzz-short fault-soak benchdiff-ci
 
 build:
 	$(GO) build ./...
@@ -46,9 +56,17 @@ race-parallel:
 	$(GO) test -race -count=1 -run 'Parallel' ./internal/partition/ ./internal/stats/
 
 # Guard the disabled-telemetry fast path: sim.Engine.Run must stay
-# allocation-free with no tracer/profile/registry attached.
+# allocation-free with no tracer/profile/registry attached, and both
+# engines' RunChecked must collapse to it with no governor, progress
+# tracker, or flight recorder installed.
 allocguard:
-	$(GO) test -run 'TestNilTelemetryZeroAllocs' -count=1 -v ./internal/sim/
+	$(GO) test -run 'TestNilTelemetryZeroAllocs|TestDisabledLiveTelemetryZeroAllocs' -count=1 -v ./internal/sim/ ./internal/dfa/
+
+# Byte-stability gate for the /metrics surface: the exposition golden
+# file plus the cross-worker-count determinism check (Table I's merged
+# registry renders identically at -j 1 and -j 4).
+prometheus-golden:
+	$(GO) test -run 'TestWritePrometheusGolden|TestPrometheusByteStableAcrossWorkers' -count=1 -v ./internal/telemetry/ ./internal/experiments/
 
 # Short differential-fuzzing gate: each oracle target gets a fixed
 # FUZZTIME of mutation on top of the always-executed deterministic seed
@@ -96,6 +114,19 @@ bench-snapshot:
 benchdiff:
 	@test -n "$(OLD)" -a -n "$(NEW)" || { echo "usage: make benchdiff OLD=old.json NEW=new.json"; exit 2; }
 	$(GO) run ./cmd/azoo benchdiff $(OLD) $(NEW)
+
+# Continuous-benchmarking CI gate: re-measure the checked-in baseline's
+# kernel set and fail (exit 5) on a regression beyond the CI threshold.
+# Regenerate the baseline after intentional perf changes with:
+#   go run ./cmd/azoo bench -label ci -runs 3 -kernels "$(BENCHDIFF_CI_KERNELS)" \
+#     -scale $(BENCHDIFF_CI_SCALE) -input $(BENCHDIFF_CI_INPUT) -j 1 \
+#     -timestamp <RFC3339>
+benchdiff-ci:
+	$(GO) run ./cmd/azoo bench -label ci-new -runs 3 -kernels "$(BENCHDIFF_CI_KERNELS)" \
+		-scale $(BENCHDIFF_CI_SCALE) -input $(BENCHDIFF_CI_INPUT) -j 1 \
+		-o BENCH_ci-new.json
+	$(GO) run ./cmd/azoo benchdiff -threshold "$(BENCHDIFF_CI_THRESHOLD)" $(BENCHDIFF_CI_BASELINE) BENCH_ci-new.json; \
+		rc=$$?; rm -f BENCH_ci-new.json; exit $$rc
 
 clean:
 	$(GO) clean ./...

@@ -108,13 +108,20 @@ func degradedMark(fallbacks int) string {
 }
 
 // armGovernor materializes gf and attaches the resulting governor (when
-// any budget or fault rule is armed) to the session.
+// any budget or fault rule is armed) to the session, then arms the stall
+// watchdog. A -stall-after with no budgets still needs a governor — the
+// watchdog trips it to release stalled workers — so one is created with
+// an empty budget in that case.
 func armGovernor(sess *obsSession, gf *guardFlags) error {
 	gov, err := gf.governor(context.Background())
 	if err != nil {
 		return err
 	}
+	if gov == nil && sess != nil && sess.stallAfter > 0 {
+		gov = guard.New(context.Background(), guard.Budget{})
+	}
 	sess.setGovernor(gov)
+	sess.armWatchdog()
 	return nil
 }
 

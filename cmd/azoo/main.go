@@ -25,6 +25,14 @@
 // EXPERIMENTS.md ("Continuous benchmarking") for the schema and the
 // bench → benchdiff regression-gate workflow.
 //
+// The live-ops surface rides the same flag set: -debug-addr serves pprof,
+// expvar (/debug/vars), Prometheus text exposition (/metrics), and live
+// heartbeat state (/progress); -progress <interval> prints per-kernel
+// heartbeats to stderr; -stall-after <duration> arms a watchdog that trips
+// the run and dumps a flight-recorder postmortem when a kernel stops
+// heartbeating; -postmortem <file> overrides the dump path (default
+// <report>.postmortem.ndjson). See EXPERIMENTS.md ("Live ops").
+//
 // The -j flag sets the worker count of the parallel execution layer
 // (internal/parallel): -j 1 reproduces the single-threaded behaviour
 // exactly, the default is one worker per CPU, and report output is
@@ -224,11 +232,16 @@ func cmdRun(args []string) error {
 		// automaton across the worker pool. Both print identical lines
 		// (asserted suite-wide by TestRunOutputByteIdenticalAcrossWorkers).
 		var dyn stats.Dynamic
-		if *workers == 1 {
-			dyn, err = stats.ObserveSegmentsGoverned(a, segs, sess.registry(), sess.ndjson(), sess.governor())
-		} else {
-			dyn, err = stats.ObserveSegmentsParallelGoverned(context.Background(), a, segs, *workers, sess.registry(), sess.ndjson(), sess.governor())
+		h := stats.Hooks{
+			Registry: sess.registry(), Tracer: sess.ndjson(), Governor: sess.governor(),
+			Progress: sess.tracker(b.Name), Recorder: sess.recorder(),
 		}
+		if *workers == 1 {
+			dyn, err = stats.ObserveSegmentsHooked(a, segs, h)
+		} else {
+			dyn, err = stats.ObserveSegmentsParallelHooked(context.Background(), a, segs, *workers, h)
+		}
+		h.Progress.Done()
 		ssp.End()
 		if err != nil {
 			// A governor trip still records the partial work in the manifest.
@@ -244,11 +257,13 @@ func cmdRun(args []string) error {
 	case "dfa":
 		var symbols, reports int64
 		var st dfa.Stats
+		pt := sess.tracker(b.Name)
 		if *workers == 1 {
-			symbols, reports, st, err = runDFAWhole(a, segs, sess)
+			symbols, reports, st, err = runDFAWhole(a, segs, sess, pt)
 		} else {
-			symbols, reports, st, err = runDFAParallel(a, segs, *workers, sess)
+			symbols, reports, st, err = runDFAParallel(a, segs, *workers, sess, pt)
 		}
+		pt.Done()
 		ssp.End()
 		if err != nil {
 			row.Symbols, row.Reports = symbols, reports
@@ -279,15 +294,20 @@ func suiteConfig(scale float64, input int, seed uint64) map[string]string {
 
 // runDFAWhole scans every segment on one whole-automaton DFA engine (the
 // -j 1 path).
-func runDFAWhole(a *automata.Automaton, segs [][]byte, sess *obsSession) (symbols, reports int64, st dfa.Stats, err error) {
+func runDFAWhole(a *automata.Automaton, segs [][]byte, sess *obsSession, pt *telemetry.ProgressTracker) (symbols, reports int64, st dfa.Stats, err error) {
 	e, err := dfa.New(a)
 	if err != nil {
 		return 0, 0, dfa.Stats{}, err
+	}
+	for _, seg := range segs {
+		pt.AddTotal(int64(len(seg)))
 	}
 	e.SetRegistry(sess.registry())
 	e.SetTracer(sess.ndjson())
 	e.SetSpans(sess.spanSet())
 	e.SetGovernor(sess.governor())
+	e.SetProgress(pt)
+	e.SetRecorder(sess.recorder())
 	for _, seg := range segs {
 		e.Reset()
 		s, err := e.RunChecked(seg)
@@ -307,8 +327,13 @@ func runDFAWhole(a *automata.Automaton, segs [][]byte, sess *obsSession) (symbol
 // counters never cross components — so the summed statistics equal the
 // whole-engine run's exactly and the printed output is byte-identical to
 // -j 1.
-func runDFAParallel(a *automata.Automaton, segs [][]byte, workers int, sess *obsSession) (symbols, reports int64, agg dfa.Stats, err error) {
+func runDFAParallel(a *automata.Automaton, segs [][]byte, workers int, sess *obsSession, pt *telemetry.ProgressTracker) (symbols, reports int64, agg dfa.Stats, err error) {
 	plan := partition.ForWorkers(a, workers)
+	// Per-slice engines re-scan the stream, so the heartbeat total is
+	// passes × stream bytes — same convention as the stats parallel path.
+	for _, seg := range segs {
+		pt.AddTotal(int64(plan.Passes()) * int64(len(seg)))
+	}
 	perSlice := make([]dfa.Stats, plan.Passes())
 	sliceReports := make([]int64, plan.Passes())
 	// Each slice's engine spans go to a fork adopted in slice-index order,
@@ -335,6 +360,8 @@ func runDFAParallel(a *automata.Automaton, segs [][]byte, workers int, sess *obs
 			e.SetSpans(sliceSpans[i])
 		}
 		e.SetGovernor(sess.governor())
+		e.SetProgress(pt)
+		e.SetRecorder(sess.recorder())
 		// Stats are captured even when a governor trip stops the slice
 		// mid-stream, so a truncated manifest still describes partial work.
 		defer func() { perSlice[i] = e.Stats() }()

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -8,31 +10,41 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"automatazoo/internal/experiments"
 	"automatazoo/internal/guard"
+	"automatazoo/internal/parallel"
 	"automatazoo/internal/report"
 	"automatazoo/internal/telemetry"
 )
 
 // telFlags is the observability flag set shared by run, profile, and the
-// table commands: -trace, -trace-sample, -metrics, -debug-addr, -report.
+// table commands: -trace, -trace-sample, -metrics, -debug-addr, -report,
+// plus the live-ops flags -progress, -stall-after, and -postmortem.
 type telFlags struct {
-	trace   *string
-	sample  *int64
-	metrics *string
-	debug   *string
-	report  *string
+	trace      *string
+	sample     *int64
+	metrics    *string
+	debug      *string
+	report     *string
+	progress   *time.Duration
+	stall      *time.Duration
+	postmortem *string
 }
 
 func telemetryFlags(fs *flag.FlagSet) *telFlags {
 	return &telFlags{
-		trace:   fs.String("trace", "", "write an NDJSON event trace to this file (see internal/telemetry doc.go for the schema)"),
-		sample:  fs.Int64("trace-sample", 1, "record symbol/activate trace events only for offsets divisible by N (reports and cache events are always recorded)"),
-		metrics: fs.String("metrics", "", "write a metrics-registry JSON snapshot to this file on completion"),
-		debug:   fs.String("debug-addr", "", "serve net/http/pprof and expvar (live metrics at /debug/vars) on this address, e.g. localhost:6060"),
-		report:  fs.String("report", "", "write a run-report manifest (JSON: environment, kernel rows, phase spans, metrics) to this file"),
+		trace:      fs.String("trace", "", "write an NDJSON event trace to this file (see internal/telemetry doc.go for the schema)"),
+		sample:     fs.Int64("trace-sample", 1, "record symbol/activate trace events only for offsets divisible by N (reports and cache events are always recorded)"),
+		metrics:    fs.String("metrics", "", "write a metrics-registry JSON snapshot to this file on completion"),
+		debug:      fs.String("debug-addr", "", "serve net/http/pprof, expvar (/debug/vars), Prometheus (/metrics), and live progress (/progress) on this address, e.g. localhost:6060"),
+		report:     fs.String("report", "", "write a run-report manifest (JSON: environment, kernel rows, phase spans, metrics) to this file"),
+		progress:   fs.Duration("progress", 0, "print per-kernel progress heartbeats (bytes, rate, active set, ETA) to stderr at this interval (0 = off)"),
+		stall:      fs.Duration("stall-after", 0, "declare a stall and dump a postmortem when a kernel heartbeats nothing for this long (0 = off)"),
+		postmortem: fs.String("postmortem", "", "flight-recorder NDJSON dump path on trip/panic/stall (default <report>.postmortem.ndjson when -report is set)"),
 	}
 }
 
@@ -46,6 +58,20 @@ type obsSession struct {
 	gov         *guard.Governor
 	metricsPath string
 	reportPath  string
+
+	// Live-ops surface: the progress aggregator and flight recorder exist
+	// whenever the session is active; the watchdog and stderr ticker only
+	// when their flags armed them.
+	prog       *telemetry.Progress
+	rec        *telemetry.FlightRecorder
+	watchdog   *telemetry.Watchdog
+	tickStop   chan struct{}
+	tickDone   chan struct{}
+	stallAfter time.Duration
+	pmPath     string
+	pmOnce     sync.Once
+	pmWritten  atomic.Bool
+	crashRec   bool // parallel.SetCrashRecorder installed; uninstall on Close
 
 	// Manifest contents accumulated by the command via setReport.
 	command string
@@ -63,9 +89,19 @@ type obsSession struct {
 // telemetry output is requested (the trace alone still benefits from
 // counters at /debug/vars); everything nil means fully disabled.
 func (tf *telFlags) session() (*obsSession, error) {
-	s := &obsSession{metricsPath: *tf.metrics, reportPath: *tf.report}
-	if *tf.metrics != "" || *tf.debug != "" || *tf.trace != "" || *tf.report != "" {
+	s := &obsSession{metricsPath: *tf.metrics, reportPath: *tf.report, stallAfter: *tf.stall}
+	active := *tf.metrics != "" || *tf.debug != "" || *tf.trace != "" || *tf.report != "" ||
+		*tf.progress > 0 || *tf.stall > 0 || *tf.postmortem != ""
+	if active {
 		s.reg = telemetry.NewRegistry()
+		s.prog = telemetry.NewProgress()
+		s.rec = telemetry.NewFlightRecorder(telemetry.DefaultFlightRecorderSize)
+		parallel.SetCrashRecorder(s.rec)
+		s.crashRec = true
+	}
+	s.pmPath = *tf.postmortem
+	if s.pmPath == "" && *tf.report != "" {
+		s.pmPath = *tf.report + ".postmortem.ndjson"
 	}
 	if *tf.report != "" {
 		s.spans = telemetry.NewSpans()
@@ -79,11 +115,124 @@ func (tf *telFlags) session() (*obsSession, error) {
 		s.tracer.SampleEvery = *tf.sample
 	}
 	if *tf.debug != "" {
-		if err := startDebugServer(*tf.debug, s.reg); err != nil {
+		if _, err := startDebugServer(*tf.debug, s); err != nil {
 			return nil, err
 		}
 	}
+	if *tf.progress > 0 {
+		s.startTicker(*tf.progress)
+	}
 	return s, nil
+}
+
+// startTicker launches the -progress stderr heartbeat printer. Close
+// stops it and waits for the goroutine to drain, so ticker output never
+// interleaves with the command's final table.
+func (s *obsSession) startTicker(every time.Duration) {
+	s.tickStop = make(chan struct{})
+	s.tickDone = make(chan struct{})
+	go func() {
+		defer close(s.tickDone)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.tickStop:
+				return
+			case <-t.C:
+				printProgress(s.prog)
+			}
+		}
+	}()
+}
+
+// printProgress writes one stderr line per live (not Done) tracker.
+func printProgress(p *telemetry.Progress) {
+	for _, ps := range p.Snapshot() {
+		if ps.Done {
+			continue
+		}
+		line := fmt.Sprintf("azoo: progress %s: %d", ps.Name, ps.Bytes)
+		if ps.TotalBytes > 0 {
+			line += fmt.Sprintf("/%d bytes (%.1f%%)", ps.TotalBytes,
+				100*float64(ps.Bytes)/float64(ps.TotalBytes))
+		} else {
+			line += " bytes"
+		}
+		line += fmt.Sprintf(" %.0f B/s, active %d", ps.BytesPerSec, ps.Active)
+		if ps.CacheBytes > 0 {
+			line += fmt.Sprintf(", cache %d B", ps.CacheBytes)
+		}
+		if ps.Fallbacks > 0 {
+			line += fmt.Sprintf(", fallbacks %d", ps.Fallbacks)
+		}
+		if ps.ETASeconds > 0 {
+			line += fmt.Sprintf(", eta %.1fs", ps.ETASeconds)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+}
+
+// armWatchdog starts the stall watchdog when -stall-after is set. Called
+// by armGovernor after the governor is attached: on a stall the watchdog
+// dumps the postmortem and trips the governor, which releases workers
+// parked at their next boundary check.
+func (s *obsSession) armWatchdog() {
+	if s == nil || s.stallAfter <= 0 || s.prog == nil {
+		return
+	}
+	quiet := s.stallAfter
+	s.watchdog = telemetry.NewWatchdog(s.prog, quiet, func(r telemetry.StallReport) {
+		fmt.Fprintf(os.Stderr, "azoo: stall: %q produced no heartbeat for %v\n",
+			r.Component, time.Duration(r.QuietNanos))
+		s.rec.Record(telemetry.RecStall, 0, r.Component, r.QuietNanos)
+		s.writePostmortem("stall", &r, nil)
+		s.gov.TripStalled(r.Component, quiet)
+	})
+	s.watchdog.Start()
+}
+
+// writePostmortem dumps the flight recorder, the live registry snapshot,
+// and (for stalls and panics) the captured goroutine stacks to the
+// postmortem NDJSON file. At most one postmortem is written per session;
+// the manifest links it via the postmortem field.
+func (s *obsSession) writePostmortem(reason string, stall *telemetry.StallReport, panicStack []byte) {
+	if s == nil || s.pmPath == "" {
+		return
+	}
+	s.pmOnce.Do(func() {
+		f, err := os.Create(s.pmPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "azoo: postmortem:", err)
+			return
+		}
+		defer f.Close()
+		fmt.Fprintf(f, "{\"ev\":\"postmortem\",\"schema\":1,\"reason\":%q}\n", reason)
+		if s.rec != nil {
+			if err := s.rec.WriteNDJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, "azoo: postmortem:", err)
+				return
+			}
+		}
+		if s.reg != nil {
+			snap, err := json.Marshal(s.reg.Snapshot())
+			if err == nil {
+				fmt.Fprintf(f, "{\"ev\":\"registry\",\"snapshot\":%s}\n", snap)
+			}
+		}
+		if stall != nil {
+			fmt.Fprintf(f, "{\"ev\":\"stall\",\"component\":%q,\"quiet_nanos\":%d}\n",
+				stall.Component, stall.QuietNanos)
+			stacks, _ := json.Marshal(string(stall.Stacks))
+			fmt.Fprintf(f, "{\"ev\":\"stacks\",\"stacks\":%s}\n", stacks)
+		}
+		if panicStack != nil {
+			stacks, _ := json.Marshal(string(panicStack))
+			fmt.Fprintf(f, "{\"ev\":\"panic_stack\",\"stacks\":%s}\n", stacks)
+		}
+		s.pmWritten.Store(true)
+		fmt.Fprintf(os.Stderr, "azoo: wrote postmortem to %s\n", s.pmPath)
+	})
 }
 
 // setGovernor attaches a run governor to the session; the observer and
@@ -107,11 +256,31 @@ func (s *obsSession) observer() *experiments.Observer {
 	if s == nil || (s.reg == nil && s.tracer == nil && s.spans == nil && s.gov == nil) {
 		return nil
 	}
-	o := &experiments.Observer{Registry: s.reg, Spans: s.spans, Governor: s.gov}
+	o := &experiments.Observer{
+		Registry: s.reg, Spans: s.spans, Governor: s.gov,
+		Progress: s.prog, Recorder: s.rec,
+	}
 	if s.tracer != nil {
 		o.Tracer = s.tracer
 	}
 	return o
+}
+
+// tracker returns the named per-kernel progress tracker (nil when the
+// live surface is off; a nil tracker is a valid no-op).
+func (s *obsSession) tracker(name string) *telemetry.ProgressTracker {
+	if s == nil || s.prog == nil {
+		return nil
+	}
+	return s.prog.Tracker(name)
+}
+
+// recorder returns the session flight recorder (nil-safe no-op when off).
+func (s *obsSession) recorder() *telemetry.FlightRecorder {
+	if s == nil {
+		return nil
+	}
+	return s.rec
 }
 
 // spanSet returns the session's phase-span collector (nil unless -report
@@ -145,12 +314,27 @@ func (s *obsSession) setTruncated(trip *guard.TripError) {
 }
 
 // closeTruncated finishes a command whose experiment returned err under a
-// governor: a budget trip is recorded on the manifest and the session is
-// closed (writing the flagged manifest) before the error propagates to
-// main's exit-code mapping. Non-trip errors pass through untouched.
+// governor: a budget trip is recorded on the manifest (with a postmortem
+// dump) and the session is closed (writing the flagged manifest) before
+// the error propagates to main's exit-code mapping. A worker panic also
+// dumps a postmortem — the crash recorder captured the stack at the
+// recover site — and writes the (non-truncated) manifest. Other errors
+// pass through untouched.
 func (s *obsSession) closeTruncated(err error) error {
 	if trip := guard.AsTrip(err); trip != nil {
+		if s != nil && s.rec != nil {
+			s.rec.Record(telemetry.RecTrip, 0, trip.Budget, trip.Actual)
+		}
+		s.writePostmortem("trip", nil, nil)
 		s.setTruncated(trip)
+		if cerr := s.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "azoo:", cerr)
+		}
+		return err
+	}
+	var pe *parallel.PanicError
+	if errors.As(err, &pe) {
+		s.writePostmortem("panic", nil, pe.Stack)
 		if cerr := s.Close(); cerr != nil {
 			fmt.Fprintln(os.Stderr, "azoo:", cerr)
 		}
@@ -176,10 +360,25 @@ func (s *obsSession) ndjson() telemetry.Tracer {
 }
 
 // Close flushes the trace and writes the metrics snapshot and the
-// run-report manifest.
+// run-report manifest. Live-ops teardown happens first: the watchdog and
+// progress ticker stop, and the process-wide crash recorder slot is
+// released.
 func (s *obsSession) Close() error {
 	if s == nil {
 		return nil
+	}
+	if s.watchdog != nil {
+		s.watchdog.Stop()
+		s.watchdog = nil
+	}
+	if s.tickStop != nil {
+		close(s.tickStop)
+		<-s.tickDone
+		s.tickStop = nil
+	}
+	if s.crashRec {
+		parallel.SetCrashRecorder(nil)
+		s.crashRec = false
 	}
 	var first error
 	if s.tracer != nil {
@@ -214,6 +413,9 @@ func (s *obsSession) Close() error {
 			Truncated:     s.truncated,
 			TrippedBudget: s.trippedBudget,
 		}
+		if s.pmWritten.Load() {
+			m.Postmortem = s.pmPath
+		}
 		if s.reg != nil {
 			snap := s.reg.Snapshot()
 			m.Metrics = &snap
@@ -225,10 +427,14 @@ func (s *obsSession) Close() error {
 	return first
 }
 
-// startDebugServer serves pprof and expvar on addr for the lifetime of
-// the process — profiling support for long suite runs. The registry's
-// live snapshot appears under "azoo" at /debug/vars.
-func startDebugServer(addr string, reg *telemetry.Registry) error {
+// startDebugServer serves pprof, expvar, Prometheus exposition, and the
+// live progress JSON on addr for the lifetime of the process — ops
+// support for long suite runs. The registry's live snapshot appears under
+// "azoo" at /debug/vars, in Prometheus text format at /metrics, and the
+// per-kernel heartbeat state at /progress. Returns the bound address so
+// tests can dial an OS-assigned port.
+func startDebugServer(addr string, s *obsSession) (net.Addr, error) {
+	reg := s.registry()
 	if reg != nil {
 		reg.PublishExpvar("azoo")
 	}
@@ -239,15 +445,33 @@ func startDebugServer(addr string, reg *telemetry.Registry) error {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			if err := reg.WritePrometheus(w); err != nil {
+				fmt.Fprintln(os.Stderr, "azoo: /metrics:", err)
+			}
+		}
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		prog := s.prog
+		if prog == nil {
+			prog = telemetry.NewProgress()
+		}
+		if err := prog.WriteJSON(w); err != nil {
+			fmt.Fprintln(os.Stderr, "azoo: /progress:", err)
+		}
+	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return fmt.Errorf("debug server: %w", err)
+		return nil, fmt.Errorf("debug server: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "azoo: debug server at http://%s/debug/pprof/ and /debug/vars\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "azoo: debug server at http://%s/debug/pprof/ (also /debug/vars, /metrics, /progress)\n", ln.Addr())
 	go func() {
 		if err := http.Serve(ln, mux); err != nil {
 			fmt.Fprintln(os.Stderr, "azoo: debug server:", err)
 		}
 	}()
-	return nil
+	return ln.Addr(), nil
 }

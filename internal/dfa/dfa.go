@@ -183,6 +183,16 @@ type Engine struct {
 	gov        *guard.Governor
 	govErr     error
 	cacheBytes int64
+
+	// Live-ops hooks, fed at the governed chunk boundaries: prog
+	// heartbeats bytes scanned, live-component count, cache bytes, and
+	// fallback deltas; rec logs budget checks, evictions, fallbacks, and
+	// trips to the flight recorder. Nil-receiver no-ops like the governor;
+	// all-nil RunChecked is byte-for-byte the Run loop.
+	prog          *telemetry.ProgressTracker
+	rec           *telemetry.FlightRecorder
+	progCache     int64 // cacheBytes already published to prog
+	progFallbacks int64 // stats.Fallbacks already published to prog
 }
 
 // Options tune the engine's internal strategies; the zero value is the
@@ -270,6 +280,7 @@ func (e *Engine) degrade(c *component, ci int, seed []automata.StateID) {
 	if e.tracer != nil {
 		e.tracer.OnCacheEvent(e.offset, ci, telemetry.CacheEviction)
 	}
+	e.recordDegrade(ci, int64(len(c.dstates)))
 	c.frontier = append(c.frontier[:0], seed...)
 	if c.mark == nil {
 		c.mark = map[automata.StateID]bool{}
@@ -488,6 +499,32 @@ func (e *Engine) SetGovernor(g *guard.Governor) {
 	}
 }
 
+// SetProgress attaches a live-progress tracker (nil detaches): RunChecked
+// heartbeats bytes scanned, live-component count, cache-byte level, and
+// fallback deltas at every chunk boundary. Bare Run calls stay silent.
+func (e *Engine) SetProgress(t *telemetry.ProgressTracker) {
+	e.prog = t
+	e.progCache = e.cacheBytes
+	e.progFallbacks = int64(e.stats.Fallbacks)
+}
+
+// SetRecorder attaches a flight recorder (nil detaches): chunk budget
+// checks, cache evictions, DFA→NFA fallbacks, and budget trips are logged
+// for postmortem dumps.
+func (e *Engine) SetRecorder(r *telemetry.FlightRecorder) { e.rec = r }
+
+// recordDegrade logs a component degradation (eviction + fallback) to the
+// attached flight recorder, if any.
+func (e *Engine) recordDegrade(ci int, evicted int64) {
+	if e.rec == nil {
+		return
+	}
+	if evicted > 0 {
+		e.rec.Record(telemetry.RecEvict, ci, guard.SiteDFAConstruct, evicted)
+	}
+	e.rec.Record(telemetry.RecFallback, ci, guard.SiteDFAConstruct, 0)
+}
+
 // SetRegistry attaches a metrics registry (nil detaches). Aggregate run
 // statistics flush to the dfa.* counters and gauges at the end of every
 // Run and on Reset.
@@ -594,9 +631,11 @@ const govChunk = 4096
 // in govChunk-sized chunks with a guard boundary before each chunk, and
 // run-stopping governor errors raised inside subset construction are
 // surfaced. On a trip the partial statistics are returned with the
-// *guard.TripError. With no governor attached it is exactly Run.
+// *guard.TripError. The same chunk boundaries feed the attached progress
+// tracker and flight recorder. With no governor, progress, or recorder
+// attached it is exactly Run.
 func (e *Engine) RunChecked(input []byte) (Stats, error) {
-	if e.gov == nil {
+	if e.gov == nil && e.prog == nil && e.rec == nil {
 		return e.Run(input), nil
 	}
 	sp := e.spans.Start("dfa.run")
@@ -606,7 +645,11 @@ func (e *Engine) RunChecked(input []byte) (Stats, error) {
 		if end > len(input) {
 			end = len(input)
 		}
-		if err = e.gov.Boundary(guard.SiteDFAChunk, int64(end-off)); err != nil {
+		n := int64(end - off)
+		if e.rec != nil {
+			e.rec.Record(telemetry.RecBudget, 0, guard.SiteDFAChunk, n)
+		}
+		if err = e.gov.Boundary(guard.SiteDFAChunk, n); err != nil {
 			break
 		}
 		for _, b := range input[off:end] {
@@ -615,6 +658,22 @@ func (e *Engine) RunChecked(input []byte) (Stats, error) {
 				err = e.govErr
 				break
 			}
+		}
+		if e.prog != nil {
+			e.prog.Beat(n, int64(len(e.live)))
+			if d := e.cacheBytes - e.progCache; d != 0 {
+				e.prog.AddCache(d)
+				e.progCache = e.cacheBytes
+			}
+			if d := int64(e.stats.Fallbacks) - e.progFallbacks; d != 0 {
+				e.prog.AddFallbacks(d)
+				e.progFallbacks = int64(e.stats.Fallbacks)
+			}
+		}
+	}
+	if err != nil && e.rec != nil {
+		if t := guard.AsTrip(err); t != nil {
+			e.rec.Record(telemetry.RecTrip, 0, t.Budget, t.Actual)
 		}
 	}
 	if e.reg != nil {
@@ -654,6 +713,7 @@ func (e *Engine) stepByte(b byte) {
 				if e.tracer != nil {
 					e.tracer.OnCacheEvent(e.offset, int(ci), telemetry.CacheEviction)
 				}
+				e.recordDegrade(int(ci), int64(len(c.dstates)))
 				// Seed the fallback frontier from the current dstate and
 				// process this byte via the NFA path.
 				c.frontier = append(c.frontier[:0], c.dstates[di].frontier...)

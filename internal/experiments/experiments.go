@@ -28,13 +28,18 @@ import (
 // build/simulate/compress (etc.) wall-clock breakdown. Governor, when
 // non-nil, bounds the experiment: every kernel checks in at the
 // experiments.kernel boundary before starting and every engine runs
-// governed, so one budget trip stops the whole table. The zero value
-// (and a nil *Observer) disables all four.
+// governed, so one budget trip stops the whole table. Progress, when
+// non-nil, receives one live heartbeat tracker per kernel (named after
+// the kernel), and Recorder logs kernel phase transitions and engine
+// events into the flight recorder for postmortem dumps. The zero value
+// (and a nil *Observer) disables all of them.
 type Observer struct {
 	Registry *telemetry.Registry
 	Tracer   telemetry.Tracer
 	Spans    *telemetry.Spans
 	Governor *guard.Governor
+	Progress *telemetry.Progress
+	Recorder *telemetry.FlightRecorder
 }
 
 func (o *Observer) registry() *telemetry.Registry {
@@ -63,6 +68,22 @@ func (o *Observer) governor() *guard.Governor {
 		return nil
 	}
 	return o.Governor
+}
+
+func (o *Observer) recorder() *telemetry.FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.Recorder
+}
+
+// tracker returns the named per-kernel progress tracker, or nil when no
+// Progress aggregator is attached (a nil tracker is a valid no-op).
+func (o *Observer) tracker(name string) *telemetry.ProgressTracker {
+	if o == nil || o.Progress == nil {
+		return nil
+	}
+	return o.Progress.Tracker(name)
 }
 
 // TableI generates every suite benchmark at cfg's scale, computes its

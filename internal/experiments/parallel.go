@@ -113,8 +113,10 @@ func TableIParallel(ctx context.Context, cfg core.Config, compress bool, workers
 	forks := localSpans(obs, len(benches))
 	tr := obs.tracer()
 	gov := obs.governor()
+	rec := obs.recorder()
 	err := parallel.ForEach(ctx, workers, len(benches), func(i int) error {
 		b := benches[i]
+		rec.Record(telemetry.RecPhase, i, b.Name, 0)
 		if err := gov.Boundary(guard.SiteKernel, 0); err != nil {
 			return fmt.Errorf("%s: %w", b.Name, err)
 		}
@@ -126,12 +128,18 @@ func TableIParallel(ctx context.Context, cfg core.Config, compress bool, workers
 		if err != nil {
 			return fmt.Errorf("%s: %w", b.Name, err)
 		}
+		pt := obs.tracker(b.Name)
 		ssp := ksp.Start("simulate")
-		dyn, err := stats.ObserveSegmentsGoverned(a, segs, regs[i], tr, gov)
+		dyn, err := stats.ObserveSegmentsHooked(a, segs, stats.Hooks{
+			Registry: regs[i], Tracer: tr, Governor: gov,
+			Progress: pt, Recorder: rec,
+		})
 		ssp.End()
 		if err != nil {
 			return fmt.Errorf("%s: %w", b.Name, err)
 		}
+		pt.Done()
+		rec.Record(telemetry.RecPhase, i, b.Name, 1)
 		row := stats.Row{
 			Name:    b.Name,
 			Domain:  b.Domain,
@@ -168,13 +176,16 @@ func TableIIParallel(ctx context.Context, samples int, seed uint64, workers int,
 	regs := localRegistries(obs, len(variants))
 	forks := localSpans(obs, len(variants))
 	gov := obs.governor()
+	rec := obs.recorder()
 	rows, err := parallel.Map(ctx, workers, len(variants), func(i int) (TableIIRow, error) {
 		v := variants[i]
+		rec.Record(telemetry.RecPhase, i, "rf."+v.Name, 0)
 		if err := gov.Boundary(guard.SiteKernel, 0); err != nil {
 			return TableIIRow{}, err
 		}
 		ksp := forks[i].Start("rf." + v.Name)
 		defer ksp.End()
+		defer rec.Record(telemetry.RecPhase, i, "rf."+v.Name, 1)
 		tsp := ksp.Start("train")
 		m, err := rf.Train(train, v, seed)
 		tsp.End()
@@ -259,10 +270,13 @@ func TableIIIParallel(ctx context.Context, filters, inputItemsets int, seed uint
 	regs := localRegistries(obs, 4)
 	tr := obs.tracer()
 	gov := obs.governor()
-	timeNFA := func(a *automata.Automaton, reg *telemetry.Registry) (float64, error) {
+	rec := obs.recorder()
+	timeNFA := func(a *automata.Automaton, reg *telemetry.Registry, pt *telemetry.ProgressTracker) (float64, error) {
 		e := sim.New(a)
 		e.SetRegistry(reg)
 		e.SetGovernor(gov)
+		e.SetProgress(pt)
+		e.SetRecorder(rec)
 		var rerr error
 		sec := bestOf(3, func() float64 {
 			e.Reset()
@@ -272,9 +286,10 @@ func TableIIIParallel(ctx context.Context, filters, inputItemsets int, seed uint
 			}
 			return time.Since(start).Seconds()
 		})
+		pt.Done()
 		return sec, rerr
 	}
-	timeDFA := func(a *automata.Automaton, reg *telemetry.Registry) (float64, dfa.Stats, error) {
+	timeDFA := func(a *automata.Automaton, reg *telemetry.Registry, pt *telemetry.ProgressTracker) (float64, dfa.Stats, error) {
 		e, err := dfa.New(a)
 		if err != nil {
 			return 0, dfa.Stats{}, err
@@ -282,6 +297,8 @@ func TableIIIParallel(ctx context.Context, filters, inputItemsets int, seed uint
 		e.SetRegistry(reg)
 		e.SetTracer(tr)
 		e.SetGovernor(gov)
+		e.SetProgress(pt)
+		e.SetRecorder(rec)
 		if _, err := e.RunChecked(input); err != nil { // warm the transition cache fully
 			return 0, dfa.Stats{}, err
 		}
@@ -297,6 +314,7 @@ func TableIIIParallel(ctx context.Context, filters, inputItemsets int, seed uint
 			}
 			return time.Since(start).Seconds() / loops
 		})
+		pt.Done()
 		return sec, e.Stats(), rerr
 	}
 
@@ -308,17 +326,20 @@ func TableIIIParallel(ctx context.Context, filters, inputItemsets int, seed uint
 	names := []string{"nfa.plain", "nfa.padded", "dfa.plain", "dfa.padded"}
 	forks := localSpans(obs, 4)
 	err = parallel.ForEach(ctx, workers, 4, func(i int) error {
+		rec.Record(telemetry.RecPhase, i, names[i], 0)
 		if err := gov.Boundary(guard.SiteKernel, 0); err != nil {
 			return err
 		}
 		ksp := forks[i].Start(names[i])
 		defer ksp.End()
+		defer rec.Record(telemetry.RecPhase, i, names[i], 1)
+		pt := obs.tracker("table3." + names[i])
 		if i < 2 {
-			sec, err := timeNFA(autos[i], regs[i])
+			sec, err := timeNFA(autos[i], regs[i], pt)
 			secs[i] = sec
 			return err
 		}
-		sec, st, err := timeDFA(autos[i], regs[i])
+		sec, st, err := timeDFA(autos[i], regs[i], pt)
 		if err != nil {
 			return err
 		}
@@ -384,6 +405,8 @@ func TableIVParallel(ctx context.Context, samples int, seed uint64, workers int,
 	forks := localSpans(obs, 3)
 	tr := obs.tracer()
 	gov := obs.governor()
+	rec := obs.recorder()
+	kernelNames := []string{"hyperscan", "native", "reapr"}
 	kernels := []func() error{
 		func() error { // Hyperscan proxy: per-sample DFA scan.
 			ksp := forks[0].Start("hyperscan")
@@ -404,6 +427,10 @@ func TableIVParallel(ctx context.Context, samples int, seed uint64, workers int,
 			de.SetRegistry(regs[0])
 			de.SetTracer(tr)
 			de.SetGovernor(gov)
+			pt := obs.tracker("table4.hyperscan")
+			de.SetProgress(pt)
+			de.SetRecorder(rec)
+			defer pt.Done()
 			for _, s := range encoded[:min(64, len(encoded))] {
 				de.Reset()
 				if _, err := de.RunChecked(s); err != nil {
@@ -444,9 +471,11 @@ func TableIVParallel(ctx context.Context, samples int, seed uint64, workers int,
 		},
 	}
 	err = parallel.ForEach(ctx, workers, len(kernels), func(i int) error {
+		rec.Record(telemetry.RecPhase, i, kernelNames[i], 0)
 		if err := gov.Boundary(guard.SiteKernel, 0); err != nil {
 			return err
 		}
+		defer rec.Record(telemetry.RecPhase, i, kernelNames[i], 1)
 		return kernels[i]()
 	})
 	mergeRegistries(obs, regs)

@@ -66,6 +66,7 @@ const (
 	BudgetCacheBytes = "cache-bytes"
 	BudgetActiveSet  = "active-set"
 	BudgetInjected   = "injected"
+	BudgetStalled    = "stalled"
 )
 
 // Boundary site names. Engines and harnesses pass these to Boundary /
@@ -111,6 +112,8 @@ func (e *TripError) Error() string {
 		return fmt.Sprintf("guard: run canceled%s%s", at, inj)
 	case BudgetInjected:
 		return fmt.Sprintf("guard: injected budget trip%s", at)
+	case BudgetStalled:
+		return fmt.Sprintf("guard: run stalled (no heartbeat for %v)%s%s", time.Duration(e.Actual), at, inj)
 	default:
 		return fmt.Sprintf("guard: %s budget exceeded (limit %d, got %d)%s%s", e.Budget, e.Limit, e.Actual, at, inj)
 	}
@@ -137,6 +140,7 @@ type Governor struct {
 	input    atomic.Int64
 	cache    atomic.Int64
 	trip     atomic.Pointer[TripError]
+	tripped  chan struct{} // closed by the first record; wakes stalled sites
 	inj      *Injector
 }
 
@@ -146,7 +150,7 @@ func New(ctx context.Context, b Budget) *Governor {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	g := &Governor{budget: b, ctx: ctx}
+	g := &Governor{budget: b, ctx: ctx, tripped: make(chan struct{})}
 	if b.Timeout > 0 {
 		g.deadline = time.Now().Add(b.Timeout)
 	}
@@ -193,12 +197,59 @@ func (g *Governor) CacheBytes() int64 {
 }
 
 // record makes t the sticky trip (first writer wins) and returns the
-// winning trip, so every caller surfaces one consistent error.
+// winning trip, so every caller surfaces one consistent error. The first
+// record also closes the tripped channel, waking any boundary parked in a
+// stall fault.
 func (g *Governor) record(t *TripError) *TripError {
 	if g.trip.CompareAndSwap(nil, t) {
+		if g.tripped != nil {
+			close(g.tripped)
+		}
 		return t
 	}
 	return g.trip.Load()
+}
+
+// TripStalled records a watchdog-declared stall as the sticky trip: the
+// named component stopped heartbeating for quiet. Returns the winning
+// trip (which may be an earlier one). Nil-receiver safe.
+func (g *Governor) TripStalled(site string, quiet time.Duration) *TripError {
+	if g == nil {
+		return nil
+	}
+	return g.record(&TripError{
+		Budget: BudgetStalled,
+		Actual: quiet.Nanoseconds(),
+		Site:   site,
+	})
+}
+
+// stallHere blocks the calling goroutine at site until the governor
+// trips — by the stall watchdog (TripStalled), the deadline, or context
+// cancellation — and returns the winning trip. It simulates a hung
+// worker for the `stall:` fault kind: unlike a panic or an immediate
+// trip, the boundary genuinely stops making progress, which is exactly
+// what the watchdog exists to detect.
+func (g *Governor) stallHere(site string) *TripError {
+	var deadlineC <-chan time.Time
+	if !g.deadline.IsZero() {
+		timer := time.NewTimer(time.Until(g.deadline))
+		defer timer.Stop()
+		deadlineC = timer.C
+	}
+	select {
+	case <-g.tripped:
+		return g.trip.Load()
+	case <-g.ctx.Done():
+		return g.record(&TripError{Budget: BudgetCanceled, Site: site, Cause: g.ctx.Err()})
+	case <-deadlineC:
+		return g.record(&TripError{
+			Budget: BudgetDeadline,
+			Limit:  int64(g.budget.Timeout),
+			Site:   site,
+			Cause:  context.DeadlineExceeded,
+		})
+	}
 }
 
 // Check is the cheap cooperative check: sticky trip, context, deadline.
@@ -229,8 +280,10 @@ func (g *Governor) Inject(site string) error {
 	if g == nil {
 		return nil
 	}
-	if err := g.inj.fire(site); err != nil {
+	if err, stalled := g.inj.fire(site); err != nil {
 		return g.record(err)
+	} else if stalled {
+		return g.stallHere(site)
 	}
 	if t := g.trip.Load(); t != nil {
 		return t
@@ -246,8 +299,10 @@ func (g *Governor) Boundary(site string, n int64) error {
 	if g == nil {
 		return nil
 	}
-	if err := g.inj.fire(site); err != nil {
+	if err, stalled := g.inj.fire(site); err != nil {
 		return g.record(err)
+	} else if stalled {
+		return g.stallHere(site)
 	}
 	if err := g.Check(); err != nil {
 		return err

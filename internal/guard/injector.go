@@ -19,7 +19,7 @@ import (
 //
 //	kind:site[:n]
 //
-//	kind  panic | deadline | trip
+//	kind  panic | deadline | trip | stall
 //	site  a boundary site constant (e.g. "dfa.chunk") or "*" for any
 //	n     1-based hit count at which to fire (default 1); the form
 //	      "~maxN" draws the hit count in [1, maxN] from the seed, so
@@ -30,6 +30,8 @@ import (
 //	panic:dfa.chunk           panic on the first DFA chunk boundary
 //	deadline:*:3              expire the deadline on the 3rd boundary hit
 //	trip:sim.chunk:~100       trip a budget on a seed-chosen sim chunk
+//	stall:sim.chunk:2         hang the 2nd sim chunk until the watchdog
+//	                          (or deadline/cancel) trips the run
 //
 // A nil *Injector is a valid no-op: the disabled path is a single nil
 // check inlined into Governor.Boundary.
@@ -38,7 +40,7 @@ type Injector struct {
 }
 
 type injectRule struct {
-	kind string // "panic", "deadline", "trip"
+	kind string // "panic", "deadline", "trip", "stall"
 	site string // site constant or "*"
 	at   int64  // 1-based hit count at which to fire
 	hits atomic.Int64
@@ -49,6 +51,10 @@ const (
 	FaultPanic    = "panic"
 	FaultDeadline = "deadline"
 	FaultTrip     = "trip"
+	// FaultStall blocks the boundary goroutine until the governor trips
+	// (stall watchdog, deadline, or cancellation) — a deterministic hung
+	// worker for exercising the watchdog path.
+	FaultStall = "stall"
 )
 
 // InjectedPanic is the panic value used by the panic fault kind; the
@@ -82,9 +88,9 @@ func ParseInjector(spec string, seed uint64) (*Injector, error) {
 		}
 		kind, site := parts[0], parts[1]
 		switch kind {
-		case FaultPanic, FaultDeadline, FaultTrip:
+		case FaultPanic, FaultDeadline, FaultTrip, FaultStall:
 		default:
-			return nil, fmt.Errorf("guard: bad fault kind %q in rule %q (want panic, deadline, or trip)", kind, raw)
+			return nil, fmt.Errorf("guard: bad fault kind %q in rule %q (want panic, deadline, trip, or stall)", kind, raw)
 		}
 		if site == "" {
 			return nil, fmt.Errorf("guard: empty site in fault rule %q", raw)
@@ -142,10 +148,12 @@ func InjectorFromEnv() (*Injector, error) {
 
 // fire checks every rule against site; a rule fires exactly once, on its
 // at-th matching hit. panic rules panic with InjectedPanic; deadline and
-// trip rules return a *TripError for the governor to record.
-func (inj *Injector) fire(site string) *TripError {
+// trip rules return a *TripError for the governor to record; stall rules
+// return stalled=true, telling the governor to park the goroutine in
+// stallHere until the run trips.
+func (inj *Injector) fire(site string) (t *TripError, stalled bool) {
 	if inj == nil {
-		return nil
+		return nil, false
 	}
 	for i := range inj.rules {
 		r := &inj.rules[i]
@@ -160,12 +168,14 @@ func (inj *Injector) fire(site string) *TripError {
 		case FaultPanic:
 			panic(InjectedPanic{Site: site, Hit: hit})
 		case FaultDeadline:
-			return &TripError{Budget: BudgetDeadline, Site: site, Injected: true}
+			return &TripError{Budget: BudgetDeadline, Site: site, Injected: true}, false
 		case FaultTrip:
-			return &TripError{Budget: BudgetInjected, Site: site, Injected: true}
+			return &TripError{Budget: BudgetInjected, Site: site, Injected: true}, false
+		case FaultStall:
+			return nil, true
 		}
 	}
-	return nil
+	return nil, false
 }
 
 func splitmix64(x uint64) uint64 {

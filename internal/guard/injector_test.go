@@ -5,6 +5,12 @@ import (
 	"testing"
 )
 
+// fireTrip adapts fire's two-value form for the trip/deadline rule tests.
+func fireTrip(inj *Injector, site string) *TripError {
+	t, _ := inj.fire(site)
+	return t
+}
+
 func TestParseInjectorEmpty(t *testing.T) {
 	for _, spec := range []string{"", "  ", ",", " , "} {
 		inj, err := ParseInjector(spec, 0)
@@ -37,17 +43,17 @@ func TestTripRuleFiresOnceAtHit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if inj.fire("dfa.chunk") != nil {
+	if fireTrip(inj, "dfa.chunk") != nil {
 		t.Fatal("fired at wrong site")
 	}
-	if inj.fire("sim.chunk") != nil || inj.fire("sim.chunk") != nil {
+	if fireTrip(inj, "sim.chunk") != nil || fireTrip(inj, "sim.chunk") != nil {
 		t.Fatal("fired before hit 3")
 	}
-	trip := inj.fire("sim.chunk")
+	trip := fireTrip(inj, "sim.chunk")
 	if trip == nil || trip.Budget != BudgetInjected || !trip.Injected || trip.Site != "sim.chunk" {
 		t.Fatalf("hit 3: got %+v", trip)
 	}
-	if inj.fire("sim.chunk") != nil {
+	if fireTrip(inj, "sim.chunk") != nil {
 		t.Fatal("rule fired twice")
 	}
 }
@@ -57,10 +63,10 @@ func TestDeadlineRuleAndWildcard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if inj.fire("sim.chunk") != nil {
+	if fireTrip(inj, "sim.chunk") != nil {
 		t.Fatal("fired on first hit")
 	}
-	trip := inj.fire("dfa.chunk")
+	trip := fireTrip(inj, "dfa.chunk")
 	if trip == nil || trip.Budget != BudgetDeadline || !trip.Injected {
 		t.Fatalf("wildcard hit 2: got %+v", trip)
 	}
@@ -84,7 +90,7 @@ func TestPanicRulePanicsWithInjectedPanic(t *testing.T) {
 			t.Fatalf("String(): %q", ip.String())
 		}
 	}()
-	inj.fire("experiments.kernel")
+	fireTrip(inj, "experiments.kernel")
 	t.Fatal("did not panic")
 }
 
@@ -95,7 +101,7 @@ func TestSeededHitIsDeterministicAndBounded(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := int64(1); i <= 50; i++ {
-			if inj.fire("sim.chunk") != nil {
+			if fireTrip(inj, "sim.chunk") != nil {
 				return i
 			}
 		}

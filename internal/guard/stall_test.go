@@ -1,0 +1,100 @@
+package guard
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseStallKind(t *testing.T) {
+	inj, err := ParseInjector("stall:sim.chunk:2", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trip, stalled := inj.fire(SiteSimChunk); trip != nil || stalled {
+		t.Fatalf("hit 1: trip=%v stalled=%v, want no fire", trip, stalled)
+	}
+	trip, stalled := inj.fire(SiteSimChunk)
+	if trip != nil || !stalled {
+		t.Fatalf("hit 2: trip=%v stalled=%v, want stalled", trip, stalled)
+	}
+	if _, stalled := inj.fire(SiteSimChunk); stalled {
+		t.Fatal("stall rule fired twice")
+	}
+}
+
+// TestStallFaultBlocksUntilTripped: a stall fault parks the boundary
+// goroutine — no error, no progress — until the watchdog (here simulated
+// by TripStalled) trips the governor, which releases it with the stall
+// trip.
+func TestStallFaultBlocksUntilTripped(t *testing.T) {
+	inj, err := ParseInjector("stall:sim.chunk", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(context.Background(), Budget{})
+	g.SetInjector(inj)
+
+	done := make(chan error, 1)
+	go func() { done <- g.Boundary(SiteSimChunk, 10) }()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled boundary returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	trip := g.TripStalled(SiteSimChunk, 2*time.Second)
+	if trip == nil || trip.Budget != BudgetStalled {
+		t.Fatalf("TripStalled: %+v", trip)
+	}
+	if !strings.Contains(trip.Error(), "stalled") {
+		t.Errorf("Error(): %q", trip.Error())
+	}
+	select {
+	case err := <-done:
+		tr := AsTrip(err)
+		if tr == nil || tr.Budget != BudgetStalled {
+			t.Fatalf("released with %v, want stalled trip", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled boundary never released after trip")
+	}
+}
+
+func TestStallFaultReleasedByDeadline(t *testing.T) {
+	inj, err := ParseInjector("stall:sim.chunk", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(context.Background(), Budget{Timeout: 60 * time.Millisecond})
+	g.SetInjector(inj)
+	start := time.Now()
+	err = g.Boundary(SiteSimChunk, 10)
+	tr := AsTrip(err)
+	if tr == nil || tr.Budget != BudgetDeadline {
+		t.Fatalf("deadline release: %v", err)
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		t.Error("boundary returned before the deadline")
+	}
+}
+
+func TestStallFaultReleasedByCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	inj, err := ParseInjector("stall:dfa.chunk", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(ctx, Budget{})
+	g.SetInjector(inj)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	err = g.Boundary(SiteDFAChunk, 1)
+	tr := AsTrip(err)
+	if tr == nil || tr.Budget != BudgetCanceled {
+		t.Fatalf("cancel release: %v", err)
+	}
+}

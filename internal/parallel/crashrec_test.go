@@ -1,0 +1,67 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type capturedPanic struct {
+	index int
+	value any
+	stack []byte
+}
+
+type captureRec struct {
+	mu  sync.Mutex
+	got []capturedPanic
+}
+
+func (c *captureRec) RecordPanic(index int, value any, stack []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.got = append(c.got, capturedPanic{index, value, stack})
+}
+
+func TestCrashRecorderReceivesPanic(t *testing.T) {
+	rec := &captureRec{}
+	SetCrashRecorder(rec)
+	defer SetCrashRecorder(nil)
+
+	err := ForEach(context.Background(), 2, 4, func(i int) error {
+		if i == 2 {
+			panic("boom")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.got) != 1 {
+		t.Fatalf("recorder saw %d panics, want 1", len(rec.got))
+	}
+	g := rec.got[0]
+	if g.index != 2 || g.value != "boom" {
+		t.Errorf("captured %d %v, want 2 boom", g.index, g.value)
+	}
+	if !strings.Contains(string(g.stack), "goroutine") {
+		t.Error("captured stack is not a goroutine dump")
+	}
+}
+
+func TestSetCrashRecorderNilUninstalls(t *testing.T) {
+	rec := &captureRec{}
+	SetCrashRecorder(rec)
+	SetCrashRecorder(nil)
+	_ = ForEach(context.Background(), 1, 1, func(int) error { panic("quiet") })
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.got) != 0 {
+		t.Fatalf("uninstalled recorder still saw %d panics", len(rec.got))
+	}
+}

@@ -217,6 +217,13 @@ type RunOptions struct {
 	// runs governed (per-chunk budget checks, see sim.RunChecked). One
 	// budget trip stops all slices cooperatively; the error is the trip.
 	Governor *guard.Governor
+	// Progress, if non-nil, is attached to every slice engine: each
+	// heartbeats its chunk-boundary progress into the shared tracker
+	// (atomic adds, so any worker count aggregates to the same totals).
+	Progress *telemetry.ProgressTracker
+	// Recorder, if non-nil, receives per-slice phase events and every
+	// slice engine's chunk/trip events for postmortem dumps.
+	Recorder *telemetry.FlightRecorder
 }
 
 // RunParallel executes input once per slice, fanning the slices out over
@@ -267,6 +274,7 @@ func (p *Plan) Run(ctx context.Context, input []byte, opts RunOptions) (Result, 
 		}
 	}
 	err := parallel.ForEach(ctx, opts.Workers, len(p.Slices), func(i int) error {
+		opts.Recorder.Record(telemetry.RecPhase, i, guard.SitePartitionSlice, 0)
 		if err := gov.Boundary(guard.SitePartitionSlice, 0); err != nil {
 			return err
 		}
@@ -284,6 +292,8 @@ func (p *Plan) Run(ctx context.Context, input []byte, opts RunOptions) (Result, 
 		e.SetRegistry(opts.Registry)
 		e.SetTracer(opts.Tracer)
 		e.SetGovernor(gov)
+		e.SetProgress(opts.Progress)
+		e.SetRecorder(opts.Recorder)
 		if buffered != nil {
 			e.OnReport = func(r sim.Report) { buffered[i] = append(buffered[i], r) }
 		}

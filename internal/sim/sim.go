@@ -163,6 +163,15 @@ type Engine struct {
 	// boundary. Like spans it is outside telemetryOn — the ungoverned
 	// RunChecked path is byte-for-byte the Run loop.
 	gov *guard.Governor
+
+	// prog and rec are the live-ops hooks, fed at the same chunk
+	// boundaries the governor checks: prog heartbeats bytes-scanned and
+	// frontier size to the progress aggregator; rec logs each budget
+	// check (and any trip) to the flight recorder. Both are nil-receiver
+	// no-ops and, like gov, outside telemetryOn — all-nil RunChecked is
+	// byte-for-byte the Run loop (asserted by the allocguard tests).
+	prog *telemetry.ProgressTracker
+	rec  *telemetry.FlightRecorder
 }
 
 // Options tune the engine's internal strategies; the zero value is the
@@ -272,6 +281,15 @@ func (e *Engine) SetSpans(s *telemetry.Spans) { e.spans = s }
 // enforced only by RunChecked; bare Run/Step calls stay ungoverned.
 func (e *Engine) SetGovernor(g *guard.Governor) { e.gov = g }
 
+// SetProgress attaches a live-progress tracker (nil detaches): RunChecked
+// heartbeats bytes scanned and the enabled-frontier size at every chunk
+// boundary. Bare Run calls stay silent, like the governor.
+func (e *Engine) SetProgress(t *telemetry.ProgressTracker) { e.prog = t }
+
+// SetRecorder attaches a flight recorder (nil detaches): RunChecked logs
+// chunk budget checks and budget trips for postmortem dumps.
+func (e *Engine) SetRecorder(r *telemetry.FlightRecorder) { e.rec = r }
+
 // SetRegistry attaches a metrics registry (nil detaches). Aggregate run
 // statistics are flushed to the sim.* counters at the end of every Run
 // (and on Reset), and the per-symbol enabled-frontier size is observed
@@ -377,9 +395,11 @@ const govChunk = 4096
 // deadline/cancellation, input-byte accounting) before each chunk and an
 // active-set check after it. On a budget trip the run stops between
 // chunks and the partial statistics are returned with the *guard.TripError.
-// With no governor attached it is exactly Run.
+// The same chunk boundaries feed the attached progress tracker and flight
+// recorder. With no governor, progress, or recorder attached it is
+// exactly Run.
 func (e *Engine) RunChecked(input []byte) (Stats, error) {
-	if e.gov == nil {
+	if e.gov == nil && e.prog == nil && e.rec == nil {
 		return e.Run(input), nil
 	}
 	sp := e.spans.Start("sim.run")
@@ -389,14 +409,26 @@ func (e *Engine) RunChecked(input []byte) (Stats, error) {
 		if end > len(input) {
 			end = len(input)
 		}
-		if err = e.gov.Boundary(guard.SiteSimChunk, int64(end-off)); err != nil {
+		n := int64(end - off)
+		if e.rec != nil {
+			e.rec.Record(telemetry.RecBudget, 0, guard.SiteSimChunk, n)
+		}
+		if err = e.gov.Boundary(guard.SiteSimChunk, n); err != nil {
 			break
 		}
 		for _, b := range input[off:end] {
 			e.Step(b)
 		}
+		if e.prog != nil {
+			e.prog.Beat(n, int64(len(e.frontier)))
+		}
 		if err = e.gov.CheckActive(int64(len(e.frontier))); err != nil {
 			break
+		}
+	}
+	if err != nil && e.rec != nil {
+		if t := guard.AsTrip(err); t != nil {
+			e.rec.Record(telemetry.RecTrip, 0, t.Budget, t.Actual)
 		}
 	}
 	if e.reg != nil {

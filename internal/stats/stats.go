@@ -127,14 +127,44 @@ func ObserveSegments(a *automata.Automaton, segments [][]byte, reg *telemetry.Re
 // Dynamic derived from the work completed so far is returned with the
 // error. A nil governor is exactly ObserveSegments.
 func ObserveSegmentsGoverned(a *automata.Automaton, segments [][]byte, reg *telemetry.Registry, tr telemetry.Tracer, gov *guard.Governor) (Dynamic, error) {
+	return ObserveSegmentsHooked(a, segments, Hooks{Registry: reg, Tracer: tr, Governor: gov})
+}
+
+// Hooks bundles every observability attachment an observed simulation can
+// carry. All fields are optional; the zero value is a bare run.
+type Hooks struct {
+	Registry *telemetry.Registry
+	Tracer   telemetry.Tracer
+	Governor *guard.Governor
+	// Progress, if non-nil, receives chunk-boundary heartbeats (and the
+	// total expected bytes, so ETA is computable) from the engines.
+	Progress *telemetry.ProgressTracker
+	// Recorder, if non-nil, receives engine events for postmortem dumps.
+	Recorder *telemetry.FlightRecorder
+}
+
+// ObserveSegmentsHooked is ObserveSegmentsGoverned with the full live-ops
+// hook set: the engine additionally heartbeats progress and records
+// flight-recorder events at its chunk boundaries.
+func ObserveSegmentsHooked(a *automata.Automaton, segments [][]byte, h Hooks) (Dynamic, error) {
+	reg := h.Registry
 	if reg == nil {
 		reg = telemetry.NewRegistry()
+	}
+	if h.Progress != nil {
+		var total int64
+		for _, seg := range segments {
+			total += int64(len(seg))
+		}
+		h.Progress.AddTotal(total)
 	}
 	before := simCounters(reg)
 	e := sim.New(a)
 	e.SetRegistry(reg)
-	e.SetTracer(tr)
-	e.SetGovernor(gov)
+	e.SetTracer(h.Tracer)
+	e.SetGovernor(h.Governor)
+	e.SetProgress(h.Progress)
+	e.SetRecorder(h.Recorder)
 	var err error
 	for _, seg := range segments {
 		e.Reset()
@@ -169,11 +199,27 @@ func ObserveSegmentsParallel(ctx context.Context, a *automata.Automaton, segment
 // trip the Dynamic derived from completed segments is returned with the
 // error. A nil governor is exactly ObserveSegmentsParallel.
 func ObserveSegmentsParallelGoverned(ctx context.Context, a *automata.Automaton, segments [][]byte, workers int, reg *telemetry.Registry, tr telemetry.Tracer, gov *guard.Governor) (Dynamic, error) {
+	return ObserveSegmentsParallelHooked(ctx, a, segments, workers, Hooks{Registry: reg, Tracer: tr, Governor: gov})
+}
+
+// ObserveSegmentsParallelHooked is ObserveSegmentsParallelGoverned with
+// the full live-ops hook set. Progress heartbeats count per-slice engine
+// bytes, so the tracker's total is pre-credited with passes × stream
+// length — ETA stays meaningful even though slices re-scan the stream.
+func ObserveSegmentsParallelHooked(ctx context.Context, a *automata.Automaton, segments [][]byte, workers int, h Hooks) (Dynamic, error) {
 	plan := partition.ForWorkers(a, workers)
+	if h.Progress != nil {
+		var total int64
+		for _, seg := range segments {
+			total += int64(len(seg))
+		}
+		h.Progress.AddTotal(int64(plan.Passes()) * total)
+	}
 	var streamSymbols, active, enabled, reports int64
 	for _, seg := range segments {
 		res, err := plan.Run(ctx, seg, partition.RunOptions{
-			Workers: workers, Registry: reg, Tracer: tr, Governor: gov,
+			Workers: workers, Registry: h.Registry, Tracer: h.Tracer,
+			Governor: h.Governor, Progress: h.Progress, Recorder: h.Recorder,
 		})
 		if err != nil {
 			return dynamicFrom(streamSymbols, active, enabled, reports), err

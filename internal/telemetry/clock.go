@@ -1,0 +1,12 @@
+package telemetry
+
+import "time"
+
+// nowNanos is this package's single real-clock read. Every time-dependent
+// telemetry structure (Spans, Progress, the stall Watchdog) defaults to it
+// and accepts a replacement via its SetClock, so heartbeats and span
+// timings are fake-clock testable and golden artifacts can be made
+// byte-deterministic. The root lint test forbids direct time.Now calls
+// anywhere else in this package — route new clock reads through here or
+// through an injected `now func() int64`.
+func nowNanos() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// RecKind classifies flight-recorder events.
+type RecKind uint8
+
+const (
+	// RecPhase: a phase transition (val 0 = start, 1 = end).
+	RecPhase RecKind = iota
+	// RecBudget: a chunk-boundary budget check (val = chunk bytes).
+	RecBudget
+	// RecEvict: a DFA transition-cache eviction (val = states evicted).
+	RecEvict
+	// RecFallback: a component degraded from DFA to NFA stepping.
+	RecFallback
+	// RecTrip: a guard budget tripped (name = budget, val = actual).
+	RecTrip
+	// RecPanic: a recovered worker panic (name = panic value).
+	RecPanic
+	// RecStall: the watchdog declared a stall (val = quiet nanos).
+	RecStall
+)
+
+// String returns the NDJSON wire name of the event kind.
+func (k RecKind) String() string {
+	switch k {
+	case RecPhase:
+		return "phase"
+	case RecBudget:
+		return "budget"
+	case RecEvict:
+		return "evict"
+	case RecFallback:
+		return "fallback"
+	case RecTrip:
+		return "trip"
+	case RecPanic:
+		return "panic"
+	case RecStall:
+		return "stall"
+	}
+	return "unknown"
+}
+
+// recEvent is one ring slot. name strings are interned call-site
+// constants (site names, budget names, phase labels), so overwriting a
+// slot never allocates; only RecordPanic builds a fresh string, and that
+// path is already off the hot loop.
+type recEvent struct {
+	seq  uint64
+	kind RecKind
+	comp int32
+	val  int64
+	name string
+}
+
+// FlightRecorder is a fixed-size ring buffer of recent engine events —
+// the "what were the engines doing" record that guard trips, worker
+// panics, and the stall watchdog dump into a postmortem file. Recording
+// is a mutex-guarded slot overwrite with zero allocations, cheap enough
+// to leave on for whole runs; a nil recorder is a valid no-op receiver,
+// so the disabled path is one predictable branch.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	seq  uint64
+	ring []recEvent
+}
+
+// DefaultFlightRecorderSize is the ring capacity cmd/azoo uses: deep
+// enough to hold several seconds of chunk-boundary events per worker,
+// small enough (~48 B/slot) to be negligible.
+const DefaultFlightRecorderSize = 512
+
+// NewFlightRecorder returns a recorder holding the last size events
+// (clamped to a sane minimum).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size < 16 {
+		size = 16
+	}
+	return &FlightRecorder{ring: make([]recEvent, size)}
+}
+
+// Record appends one event, overwriting the oldest slot when full. comp
+// is the engine component index (0 when not applicable); name should be a
+// call-site constant so recording stays allocation-free.
+func (r *FlightRecorder) Record(kind RecKind, comp int, name string, val int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	slot := &r.ring[r.seq%uint64(len(r.ring))]
+	slot.seq = r.seq
+	slot.kind = kind
+	slot.comp = int32(comp)
+	slot.val = val
+	slot.name = name
+	r.seq++
+	r.mu.Unlock()
+}
+
+// RecordPanic records a recovered worker panic (satisfies
+// parallel.CrashRecorder). The panic value is stringified and truncated;
+// the full stack goes into the postmortem file separately, not the ring.
+func (r *FlightRecorder) RecordPanic(index int, value any, stack []byte) {
+	if r == nil {
+		return
+	}
+	msg := fmt.Sprint(value)
+	if len(msg) > 120 {
+		msg = msg[:120]
+	}
+	r.Record(RecPanic, index, msg, int64(len(stack)))
+}
+
+// Len returns the number of events currently held (≤ ring size).
+func (r *FlightRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seq < uint64(len(r.ring)) {
+		return int(r.seq)
+	}
+	return len(r.ring)
+}
+
+// WriteNDJSON writes the held events oldest-first, one JSON object per
+// line: {"seq":N,"ev":"kind","comp":C,"name":"...","val":V}. The output
+// is deterministic for a given ring state.
+func (r *FlightRecorder) WriteNDJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	n := uint64(len(r.ring))
+	start := uint64(0)
+	count := r.seq
+	if r.seq > n {
+		start = r.seq - n
+		count = n
+	}
+	events := make([]recEvent, 0, count)
+	for i := uint64(0); i < count; i++ {
+		events = append(events, r.ring[(start+i)%n])
+	}
+	r.mu.Unlock()
+
+	buf := make([]byte, 0, 128)
+	for _, e := range events {
+		buf = buf[:0]
+		buf = append(buf, `{"seq":`...)
+		buf = strconv.AppendUint(buf, e.seq, 10)
+		buf = append(buf, `,"ev":"`...)
+		buf = append(buf, e.kind.String()...)
+		buf = append(buf, `","comp":`...)
+		buf = strconv.AppendInt(buf, int64(e.comp), 10)
+		buf = append(buf, `,"name":`...)
+		buf = strconv.AppendQuote(buf, e.name)
+		buf = append(buf, `,"val":`...)
+		buf = strconv.AppendInt(buf, e.val, 10)
+		buf = append(buf, '}', '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderRingOverwrite(t *testing.T) {
+	r := NewFlightRecorder(0) // clamps to the 16-slot minimum
+	for i := 0; i < 20; i++ {
+		r.Record(RecBudget, i, "sim.chunk", int64(i))
+	}
+	if got := r.Len(); got != 16 {
+		t.Fatalf("Len = %d, want 16", got)
+	}
+	var b bytes.Buffer
+	if err := r.WriteNDJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != 16 {
+		t.Fatalf("lines = %d, want 16", len(lines))
+	}
+	// Oldest four events (seq 0-3) were overwritten; output starts at 4.
+	want := `{"seq":4,"ev":"budget","comp":4,"name":"sim.chunk","val":4}`
+	if lines[0] != want {
+		t.Errorf("first line = %s, want %s", lines[0], want)
+	}
+	if !strings.HasPrefix(lines[15], `{"seq":19,`) {
+		t.Errorf("last line = %s, want seq 19", lines[15])
+	}
+}
+
+func TestFlightRecorderPanicTruncation(t *testing.T) {
+	r := NewFlightRecorder(16)
+	r.RecordPanic(3, strings.Repeat("x", 200), []byte("stack"))
+	var b bytes.Buffer
+	if err := r.WriteNDJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSuffix(b.String(), "\n")
+	if !strings.Contains(line, `"ev":"panic","comp":3,`) {
+		t.Errorf("panic event: %s", line)
+	}
+	if !strings.Contains(line, `"val":5`) { // stack length
+		t.Errorf("val should carry the stack length: %s", line)
+	}
+	if strings.Count(line, "x") != 120 {
+		t.Errorf("panic value not truncated to 120 chars: %s", line)
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var r *FlightRecorder
+	r.Record(RecPhase, 0, "x", 0)
+	r.RecordPanic(0, "v", nil)
+	if r.Len() != 0 {
+		t.Fatal("nil recorder Len != 0")
+	}
+	if err := r.WriteNDJSON(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecKindStrings(t *testing.T) {
+	want := map[RecKind]string{
+		RecPhase: "phase", RecBudget: "budget", RecEvict: "evict",
+		RecFallback: "fallback", RecTrip: "trip", RecPanic: "panic",
+		RecStall: "stall", RecKind(200): "unknown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("RecKind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+// TestFlightRecorderRecordZeroAllocs guards the always-on cost: recording
+// with call-site-constant names must not allocate.
+func TestFlightRecorderRecordZeroAllocs(t *testing.T) {
+	r := NewFlightRecorder(64)
+	allocs := testing.AllocsPerRun(500, func() {
+		r.Record(RecBudget, 1, "sim.chunk", 4096)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocated %.1f times per call, want 0", allocs)
+	}
+}

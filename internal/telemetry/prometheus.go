@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Prometheus text exposition (format version 0.0.4) over a Registry
+// snapshot. The renderer is deterministic: families are emitted in sorted
+// output-name order, histogram buckets in ascending bound order, and all
+// numbers are formatted with strconv — so two registries with equal
+// snapshots render byte-identical pages. That property is what lets the
+// golden test assert /metrics stability across -j values: the parallel
+// harness merges per-kernel registries canonically (Registry.Merge), so
+// the merged snapshot, and hence this page, is independent of worker
+// count.
+//
+// Naming follows Prometheus conventions: every family is prefixed
+// "azoo_", characters outside [a-zA-Z0-9_] map to '_', counters gain a
+// "_total" suffix, and histograms emit cumulative "_bucket" series with
+// an explicit le="+Inf" bucket plus "_sum" and "_count".
+
+// promName sanitizes a registry metric name into a Prometheus family name
+// (without suffixes): "sim.symbols" → "azoo_sim_symbols".
+func promName(name string) string {
+	b := make([]byte, 0, len(name)+5)
+	b = append(b, "azoo_"...)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
+
+type promFamily struct {
+	name string // sanitized family name, including any _total suffix
+	typ  string // counter | gauge | histogram
+	emit func(b []byte) []byte
+}
+
+// WritePrometheus renders the registry's current snapshot in Prometheus
+// text format. See WritePrometheusSnapshot for the format contract.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WritePrometheusSnapshot(w, r.Snapshot())
+}
+
+// WritePrometheusSnapshot renders a snapshot in Prometheus text format
+// version 0.0.4. Output is byte-deterministic for a given snapshot.
+func WritePrometheusSnapshot(w io.Writer, s Snapshot) error {
+	fams := make([]promFamily, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for name, v := range s.Counters {
+		v := v
+		fams = append(fams, promFamily{
+			name: promName(name) + "_total",
+			typ:  "counter",
+			emit: func(b []byte) []byte {
+				return strconv.AppendInt(b, v, 10)
+			},
+		})
+	}
+	for name, v := range s.Gauges {
+		v := v
+		fams = append(fams, promFamily{
+			name: promName(name),
+			typ:  "gauge",
+			emit: func(b []byte) []byte {
+				return strconv.AppendInt(b, v, 10)
+			},
+		})
+	}
+	for name := range s.Histograms {
+		fams = append(fams, promFamily{
+			name: promName(name),
+			typ:  "histogram",
+			emit: nil, // histograms render their own series below
+		})
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	// Histogram snapshots keyed by sanitized name for the render pass.
+	hists := make(map[string]HistogramSnapshot, len(s.Histograms))
+	for name, hs := range s.Histograms {
+		hists[promName(name)] = hs
+	}
+
+	buf := make([]byte, 0, 1<<12)
+	for _, f := range fams {
+		buf = buf[:0]
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, " automatazoo "...)
+		buf = append(buf, f.typ...)
+		buf = append(buf, " metric\n# TYPE "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.typ...)
+		buf = append(buf, '\n')
+		if f.typ == "histogram" {
+			hs := hists[f.name]
+			var cum int64
+			for _, bkt := range hs.Buckets {
+				if bkt.UpperBound == -1 {
+					continue // overflow folds into +Inf below
+				}
+				cum += bkt.Count
+				buf = append(buf, f.name...)
+				buf = append(buf, `_bucket{le="`...)
+				buf = strconv.AppendInt(buf, bkt.UpperBound, 10)
+				buf = append(buf, `"} `...)
+				buf = strconv.AppendInt(buf, cum, 10)
+				buf = append(buf, '\n')
+			}
+			buf = append(buf, f.name...)
+			buf = append(buf, `_bucket{le="+Inf"} `...)
+			buf = strconv.AppendInt(buf, hs.Count, 10)
+			buf = append(buf, '\n')
+			buf = append(buf, f.name...)
+			buf = append(buf, "_sum "...)
+			buf = strconv.AppendInt(buf, hs.Sum, 10)
+			buf = append(buf, '\n')
+			buf = append(buf, f.name...)
+			buf = append(buf, "_count "...)
+			buf = strconv.AppendInt(buf, hs.Count, 10)
+			buf = append(buf, '\n')
+		} else {
+			buf = append(buf, f.name...)
+			buf = append(buf, ' ')
+			buf = f.emit(buf)
+			buf = append(buf, '\n')
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

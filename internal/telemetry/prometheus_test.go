@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPromNameSanitizes(t *testing.T) {
+	cases := map[string]string{
+		"sim.symbols":   "azoo_sim_symbols",
+		"rf.model-size": "azoo_rf_model_size",
+		"a b/c":         "azoo_a_b_c",
+		"Already_OK9":   "azoo_Already_OK9",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition bytes: sorted families,
+// counter _total suffix, cumulative histogram buckets with an explicit
+// +Inf, and _sum/_count series. Regenerate with UPDATE_GOLDEN=1.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim.symbols").Add(1234)
+	reg.Counter("sim.reports").Add(7)
+	reg.Gauge("rf.model-size").Set(42)
+	h := reg.Histogram("sim.frontier", ExpBuckets(1, 4))
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(100) // overflow: folds into the +Inf bucket only
+
+	var b bytes.Buffer
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Fatalf("exposition differs from golden\ngot:\n%s\nwant:\n%s", b.Bytes(), want)
+	}
+}
+
+// TestWritePrometheusMergeOrderIndependent: rendering a registry merged
+// from parts is byte-identical regardless of merge order — the property
+// behind /metrics stability across -j values.
+func TestWritePrometheusMergeOrderIndependent(t *testing.T) {
+	part := func(n int64) Snapshot {
+		r := NewRegistry()
+		r.Counter("sim.symbols").Add(n)
+		r.Gauge("partition.slices").Set(n)
+		r.Histogram("sim.frontier", ExpBuckets(1, 3)).Observe(n)
+		return r.Snapshot()
+	}
+	a, b := part(3), part(900)
+	render := func(first, second Snapshot) string {
+		r := NewRegistry()
+		r.Merge(first)
+		r.Merge(second)
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	ab, ba := render(a, b), render(b, a)
+	if ab != ba {
+		t.Fatalf("merge order changed exposition:\n%s\nvs\n%s", ab, ba)
+	}
+}

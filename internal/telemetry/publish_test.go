@@ -1,0 +1,30 @@
+package telemetry
+
+import (
+	"expvar"
+	"strings"
+	"testing"
+)
+
+// TestPublishExpvarIdempotent: expvar.Publish panics on duplicate names,
+// so republishing (e.g. a second subcommand session in one process, or a
+// test exercising the debug server twice) must reuse the slot — and the
+// slot must read the most recently published registry.
+func TestPublishExpvarIdempotent(t *testing.T) {
+	const name = "azoo-test-publish-idempotent"
+	r1 := NewRegistry()
+	r1.Counter("a").Add(1)
+	r1.PublishExpvar(name)
+
+	r2 := NewRegistry()
+	r2.Counter("a").Add(5)
+	r2.PublishExpvar(name) // must not panic
+
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatal("expvar slot missing")
+	}
+	if s := v.String(); !strings.Contains(s, `"a":5`) {
+		t.Fatalf("slot reads stale registry: %s", s)
+	}
+}

@@ -2,7 +2,6 @@ package telemetry
 
 import (
 	"sync"
-	"time"
 )
 
 // Spans collects a tree of named phase spans — the wall-clock breakdown
@@ -38,8 +37,6 @@ func NewSpans() *Spans {
 	s.roots = &Span{set: s}
 	return s
 }
-
-func nowNanos() int64 { return time.Now().UnixNano() }
 
 // SetClock replaces the collector's clock with now (nil restores the real
 // clock). Forked collectors created afterwards inherit the clock; set it

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWatchdogPollFakeClock(t *testing.T) {
+	var now int64
+	p := NewProgress()
+	p.SetClock(func() int64 { return now })
+	p.Tracker("slow")
+
+	var got StallReport
+	fired := 0
+	w := NewWatchdog(p, time.Second, func(r StallReport) { got = r; fired++ })
+	if w.Poll() {
+		t.Fatal("fired with no quiet time")
+	}
+	now = int64(time.Second) - 1
+	if w.Poll() {
+		t.Fatal("fired before the quiet period elapsed")
+	}
+	now = int64(2 * time.Second)
+	if !w.Poll() {
+		t.Fatal("did not fire after quiet period")
+	}
+	if got.Component != "slow" || got.QuietNanos != int64(2*time.Second) {
+		t.Errorf("report: %q quiet %d", got.Component, got.QuietNanos)
+	}
+	if !strings.Contains(string(got.Stacks), "goroutine") {
+		t.Error("stall report missing goroutine stacks")
+	}
+	// Fires at most once, ever.
+	now = int64(10 * time.Second)
+	if w.Poll() || fired != 1 {
+		t.Fatalf("watchdog fired again (fired=%d)", fired)
+	}
+}
+
+func TestWatchdogSkipsDoneTrackers(t *testing.T) {
+	var now int64
+	p := NewProgress()
+	p.SetClock(func() int64 { return now })
+	p.Tracker("k").Done()
+	w := NewWatchdog(p, time.Millisecond, func(StallReport) { t.Error("fired on a done tracker") })
+	now = int64(time.Hour)
+	if w.Poll() {
+		t.Fatal("Poll fired with every tracker done")
+	}
+}
+
+func TestNewWatchdogNilCases(t *testing.T) {
+	p := NewProgress()
+	f := func(StallReport) {}
+	if NewWatchdog(nil, time.Second, f) != nil {
+		t.Error("nil progress must yield nil watchdog")
+	}
+	if NewWatchdog(p, 0, f) != nil {
+		t.Error("zero quiet must yield nil watchdog")
+	}
+	if NewWatchdog(p, time.Second, nil) != nil {
+		t.Error("nil callback must yield nil watchdog")
+	}
+	var w *Watchdog
+	if w.Poll() {
+		t.Error("nil watchdog fired")
+	}
+	w.Start()
+	w.Stop()
+}
+
+func TestWatchdogStartFiresAndStops(t *testing.T) {
+	p := NewProgress()
+	p.Tracker("x") // beats once at creation, then goes silent
+	ch := make(chan StallReport, 1)
+	w := NewWatchdog(p, 40*time.Millisecond, func(r StallReport) { ch <- r })
+	w.Start()
+	w.Start() // idempotent
+	select {
+	case r := <-ch:
+		if r.Component != "x" {
+			t.Errorf("component = %q, want x", r.Component)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("started watchdog never fired")
+	}
+	w.Stop()
+	w.Stop() // idempotent
+}

@@ -69,3 +69,60 @@ func TestNoProcessExitInLibraryCode(t *testing.T) {
 		t.Errorf("library code calls a process-killing function: %s", v)
 	}
 }
+
+// The telemetry package reads wall-clock time only through the clock seam
+// in clock.go (nowNanos): spans, progress trackers, and the stall
+// watchdog all take injectable clocks, which is what makes their tests
+// deterministic. A stray time.Now anywhere else in the package would
+// silently bypass the injected clock, so it is banned here. (time.Ticker
+// and time.Duration remain fine — only the *reading* of the clock is
+// seamed.)
+func TestNoDirectTimeNowInTelemetry(t *testing.T) {
+	fset := token.NewFileSet()
+	var violations []string
+	err := filepath.WalkDir("internal/telemetry", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") ||
+			filepath.Base(path) == "clock.go" {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pkg.Name == "time" && sel.Sel.Name == "Now" {
+				violations = append(violations,
+					fset.Position(call.Pos()).String()+": time.Now")
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Errorf("telemetry reads the clock outside the clock.go seam: %s", v)
+	}
+}
