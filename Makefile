@@ -23,8 +23,9 @@ BENCHDIFF_CI_KERNELS ?= Brill,Hamming 18x3
 BENCHDIFF_CI_SCALE ?= 0.02
 BENCHDIFF_CI_INPUT ?= 100000
 BENCHDIFF_CI_THRESHOLD ?= 40%
+BENCHDIFF_CI_SEGMENTS ?= 4
 
-.PHONY: ci build vet fmt-check test race race-parallel allocguard prometheus-golden fuzz-short fault-soak difftest-soak bench bench-engines bench-parallel bench-snapshot benchdiff benchdiff-ci clean
+.PHONY: ci build vet fmt-check test race race-parallel allocguard prometheus-golden fuzz-short fault-soak difftest-soak bench bench-engines bench-parallel bench-segments bench-snapshot benchdiff benchdiff-ci clean
 
 ci: vet fmt-check build test race-parallel race allocguard prometheus-golden fuzz-short fault-soak benchdiff-ci
 
@@ -70,10 +71,12 @@ prometheus-golden:
 
 # Short differential-fuzzing gate: each oracle target gets a fixed
 # FUZZTIME of mutation on top of the always-executed deterministic seed
-# corpus (go permits one -fuzz target per invocation, hence three runs).
+# corpus (go permits one -fuzz target per invocation, hence one run per
+# target).
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz 'FuzzSimVsDFA' -fuzztime $(FUZZTIME) ./internal/difftest/
 	$(GO) test -run '^$$' -fuzz 'FuzzCompressPreservesReports' -fuzztime $(FUZZTIME) ./internal/difftest/
+	$(GO) test -run '^$$' -fuzz 'FuzzSeqVsSegmented' -fuzztime $(FUZZTIME) ./internal/difftest/
 	$(GO) test -run '^$$' -fuzz 'FuzzRegexCompile' -fuzztime $(FUZZTIME) ./internal/difftest/
 	$(GO) test -run '^$$' -fuzz 'FuzzMNRLLoad' -fuzztime $(FUZZTIME) ./internal/mnrl/
 
@@ -100,6 +103,12 @@ bench-engines:
 bench-parallel:
 	$(GO) test -bench 'BenchmarkParallel' -benchmem -run '^$$' .
 
+# Segment-parallel scan throughput on one multi-MB stream; the seg=1 /
+# seg=N ratio is the segment speedup (EXPERIMENTS.md "Scaling on large
+# streams" reads these numbers).
+bench-segments:
+	$(GO) test -bench 'BenchmarkSegmentScan' -benchmem -run '^$$' .
+
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
@@ -116,14 +125,16 @@ benchdiff:
 	$(GO) run ./cmd/azoo benchdiff $(OLD) $(NEW)
 
 # Continuous-benchmarking CI gate: re-measure the checked-in baseline's
-# kernel set and fail (exit 5) on a regression beyond the CI threshold.
+# kernel set (plain rows plus @seg$(BENCHDIFF_CI_SEGMENTS) segment-parallel
+# twins) and fail (exit 5) on a regression beyond the CI threshold.
 # Regenerate the baseline after intentional perf changes with:
 #   go run ./cmd/azoo bench -label ci -runs 3 -kernels "$(BENCHDIFF_CI_KERNELS)" \
 #     -scale $(BENCHDIFF_CI_SCALE) -input $(BENCHDIFF_CI_INPUT) -j 1 \
-#     -timestamp <RFC3339>
+#     -segments $(BENCHDIFF_CI_SEGMENTS) -timestamp <RFC3339>
 benchdiff-ci:
 	$(GO) run ./cmd/azoo bench -label ci-new -runs 3 -kernels "$(BENCHDIFF_CI_KERNELS)" \
 		-scale $(BENCHDIFF_CI_SCALE) -input $(BENCHDIFF_CI_INPUT) -j 1 \
+		-segments $(BENCHDIFF_CI_SEGMENTS) \
 		-o BENCH_ci-new.json
 	$(GO) run ./cmd/azoo benchdiff -threshold "$(BENCHDIFF_CI_THRESHOLD)" $(BENCHDIFF_CI_BASELINE) BENCH_ci-new.json; \
 		rc=$$?; rm -f BENCH_ci-new.json; exit $$rc

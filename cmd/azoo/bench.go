@@ -21,6 +21,7 @@ func cmdBench(args []string) error {
 	runs := fs.Int("runs", 3, "timed repetitions per kernel")
 	kernels := fs.String("kernels", "", "comma-separated kernel filters (exact name or substring; empty = whole suite)")
 	workers := fs.Int("j", 1, "workers per kernel scan (1 = exact sequential engine; kernels themselves run sequentially)")
+	segments := fs.Int("segments", 0, "when > 1, also time each kernel as an N-segment parallel scan, recorded as an extra <name>@seg<N> row (<= 1 = plain rows only)")
 	out := fs.String("o", "", "output file (default BENCH_<label>.json)")
 	timestamp := fs.String("timestamp", "", "RFC3339 provenance timestamp (default now; fix it for reproducible artifacts)")
 	fs.Parse(args)
@@ -43,6 +44,7 @@ func cmdBench(args []string) error {
 		Kernels:   filters,
 		Config:    core.Config{Scale: *scale, InputBytes: *input, Seed: *seed},
 		Workers:   *workers,
+		Segments:  *segments,
 		Timestamp: ts,
 	})
 	if err != nil {

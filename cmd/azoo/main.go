@@ -6,15 +6,15 @@
 //
 //	azoo list
 //	azoo stats  -bench "Snort" [-scale 0.05] [-input 200000] [-compress]
-//	azoo run    -bench "ClamAV" [-scale 0.05] [-input 200000] [-engine nfa|dfa] [-j N]
+//	azoo run    -bench "ClamAV" [-scale 0.05] [-input 200000] [-engine nfa|dfa] [-j N] [-segments K]
 //	azoo profile snort [-top 20] [-trace out.ndjson] [-metrics out.json]
-//	azoo table1 [-scale 0.05] [-input 200000] [-compress] [-j N]
-//	azoo table2 [-samples 4000] [-j N]
-//	azoo table3 [-filters 1719] [-itemsets 20000] [-j N]
-//	azoo table4 [-samples 4000] [-j N]
+//	azoo table1 [-scale 0.05] [-input 200000] [-compress] [-j N] [-segments K]
+//	azoo table2 [-samples 4000] [-j N] [-segments K]
+//	azoo table3 [-filters 1719] [-itemsets 20000] [-j N] [-segments K]
+//	azoo table4 [-samples 4000] [-j N] [-segments K]
 //	azoo fig1   [-filters 10] [-symbols 1000000] [-trials 10]   (also Table V)
 //	azoo snortrates [-scale 0.2] [-input 400000]
-//	azoo bench  [-label ci] [-runs 3] [-kernels "Snort,Brill"] [-j N]
+//	azoo bench  [-label ci] [-runs 3] [-kernels "Snort,Brill"] [-j N] [-segments K]
 //	azoo benchdiff old.json new.json [-threshold 5%]
 //	azoo difftest [-seeds 500] [-states 12] [-input 512] [-seed 1] [-pair sim-dfa] [-json]
 //	azoo version
@@ -36,7 +36,14 @@
 // The -j flag sets the worker count of the parallel execution layer
 // (internal/parallel): -j 1 reproduces the single-threaded behaviour
 // exactly, the default is one worker per CPU, and report output is
-// byte-identical at every value (see ARCHITECTURE.md).
+// byte-identical at every value (see ARCHITECTURE.md). The -segments
+// flag adds segment-parallel input scanning (internal/segment): each
+// stream splits into K speculatively-scanned segments stitched back to
+// the exact sequential result — byte-identical output at any K, with
+// the speculation accounting surfaced as segment.* metrics and seg_*
+// manifest extras, never on stdout. The default 0 resolves
+// automatically from stream size and -j (suite-sized streams stay
+// unsegmented).
 package main
 
 import (
@@ -56,6 +63,7 @@ import (
 	"automatazoo/internal/parallel"
 	"automatazoo/internal/partition"
 	"automatazoo/internal/report"
+	"automatazoo/internal/segment"
 	"automatazoo/internal/spatial"
 	"automatazoo/internal/stats"
 	"automatazoo/internal/telemetry"
@@ -161,6 +169,17 @@ func workersFlag(fs *flag.FlagSet) *int {
 	return fs.Int("j", runtime.NumCPU(), "parallel workers (1 = sequential; output is identical at any value)")
 }
 
+// segmentsFlag registers -segments, the per-stream segment count of the
+// segment-parallel scanner (internal/segment). 0 resolves automatically
+// from each stream's size and -j — the suite's standard inputs stay on the
+// exact sequential path, multi-MB streams fan out; printed output is
+// byte-identical at every value. Commands whose kernels are timed
+// whole-stream (table2–4) record the flag in the manifest but scan
+// unsegmented.
+func segmentsFlag(fs *flag.FlagSet) *int {
+	return fs.Int("segments", 0, "segment-parallel pieces per input stream (0 = auto from stream size and -j, 1 = off; output is identical at any value)")
+}
+
 func cmdList() error {
 	fmt.Printf("%-22s %-30s %s\n", "Benchmark", "Domain", "Input")
 	for _, b := range core.All() {
@@ -203,6 +222,7 @@ func cmdRun(args []string) error {
 	name := fs.String("bench", "", "benchmark name")
 	engine := fs.String("engine", "nfa", "engine: nfa (VASim-like) or dfa (Hyperscan-like)")
 	workers := workersFlag(fs)
+	segments := segmentsFlag(fs)
 	tf := telemetryFlags(fs)
 	gf := governorFlags(fs)
 	fs.Parse(args)
@@ -226,18 +246,27 @@ func cmdRun(args []string) error {
 	}
 	row := report.KernelRow{Name: b.Name, States: a.NumStates()}
 	ssp := sess.spanSet().Start("scan")
+	runConfig := suiteConfig(*scale, *input, *seed)
+	runConfig["segments"] = fmt.Sprintf("%d", *segments)
 	switch *engine {
 	case "nfa":
 		// -j 1 is the exact single-engine path; -j N partitions the
-		// automaton across the worker pool. Both print identical lines
-		// (asserted suite-wide by TestRunOutputByteIdenticalAcrossWorkers).
+		// automaton across the worker pool; -segments additionally splits
+		// each stream into speculatively-scanned pieces. All combinations
+		// print identical lines (asserted suite-wide by
+		// TestRunOutputByteIdenticalAcrossWorkers).
 		var dyn stats.Dynamic
+		var stitch segment.Stitch
 		h := stats.Hooks{
 			Registry: sess.registry(), Tracer: sess.ndjson(), Governor: sess.governor(),
 			Progress: sess.tracker(b.Name), Recorder: sess.recorder(),
 		}
-		if *workers == 1 {
-			dyn, err = stats.ObserveSegmentsHooked(a, segs, h)
+		if *workers == 1 || anySegmented(segs, *segments, *workers) {
+			// ObserveStreams delegates to the exact historical sequential
+			// path when every stream resolves to one segment.
+			dyn, stitch, err = stats.ObserveStreams(context.Background(), a, segs, stats.StreamOptions{
+				Workers: *workers, Segments: *segments, Hooks: h,
+			})
 		} else {
 			dyn, err = stats.ObserveSegmentsParallelHooked(context.Background(), a, segs, *workers, h)
 		}
@@ -246,11 +275,13 @@ func cmdRun(args []string) error {
 		if err != nil {
 			// A governor trip still records the partial work in the manifest.
 			row.Symbols, row.Reports = dyn.Symbols, dyn.Reports
-			sess.setReport("run", *workers, suiteConfig(*scale, *input, *seed), []report.KernelRow{row})
+			addStitchExtra(&row, stitch)
+			sess.setReport("run", *workers, runConfig, []report.KernelRow{row})
 			return sess.closeTruncated(err)
 		}
 		row.Symbols, row.Reports = dyn.Symbols, dyn.Reports
 		row.Extra = map[string]float64{"active_set": dyn.ActiveSet, "report_rate": dyn.ReportRate}
+		addStitchExtra(&row, stitch)
 		fmt.Printf("%s: %d states, %d symbols, %d reports (%.6f/sym), active set %.2f\n",
 			b.Name, a.NumStates(), dyn.Symbols, dyn.Reports,
 			dyn.ReportRate, dyn.ActiveSet)
@@ -259,15 +290,15 @@ func cmdRun(args []string) error {
 		var st dfa.Stats
 		pt := sess.tracker(b.Name)
 		if *workers == 1 {
-			symbols, reports, st, err = runDFAWhole(a, segs, sess, pt)
+			symbols, reports, st, err = runDFAWhole(a, segs, *segments, sess, pt)
 		} else {
-			symbols, reports, st, err = runDFAParallel(a, segs, *workers, sess, pt)
+			symbols, reports, st, err = runDFAParallel(a, segs, *workers, *segments, sess, pt)
 		}
 		pt.Done()
 		ssp.End()
 		if err != nil {
 			row.Symbols, row.Reports = symbols, reports
-			sess.setReport("run", *workers, suiteConfig(*scale, *input, *seed), []report.KernelRow{row})
+			sess.setReport("run", *workers, runConfig, []report.KernelRow{row})
 			return sess.closeTruncated(err)
 		}
 		row.Symbols, row.Reports = symbols, reports
@@ -279,7 +310,7 @@ func cmdRun(args []string) error {
 	default:
 		return usageErrorf("unknown engine %q", *engine)
 	}
-	sess.setReport("run", *workers, suiteConfig(*scale, *input, *seed), []report.KernelRow{row})
+	sess.setReport("run", *workers, runConfig, []report.KernelRow{row})
 	return sess.Close()
 }
 
@@ -292,9 +323,68 @@ func suiteConfig(scale float64, input int, seed uint64) map[string]string {
 	}
 }
 
+// anySegmented reports whether any stream would resolve to more than one
+// segment under the requested -segments value.
+func anySegmented(segs [][]byte, requested, workers int) bool {
+	for _, seg := range segs {
+		if segment.Resolve(int64(len(seg)), requested, workers, 0) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// addStitchExtra records the segment-parallel stitch accounting in a
+// manifest kernel row. stdout never carries these (it must stay
+// byte-identical across -segments); the manifest, the registry, and
+// /metrics do.
+func addStitchExtra(row *report.KernelRow, stitch segment.Stitch) {
+	if stitch.Segments == 0 {
+		return
+	}
+	if row.Extra == nil {
+		row.Extra = map[string]float64{}
+	}
+	row.Extra["seg_segments"] = float64(stitch.Segments)
+	row.Extra["seg_speculated"] = float64(stitch.Speculated)
+	row.Extra["seg_committed"] = float64(stitch.Committed)
+	row.Extra["seg_replayed"] = float64(stitch.Replayed)
+	row.Extra["seg_warmup_bytes"] = float64(stitch.WarmupBytes)
+	row.Extra["seg_replay_bytes"] = float64(stitch.ReplayBytes)
+}
+
+// dfaScanStream scans one stream on e (already Reset), in k resume-chunks
+// when k > 1: each segment boundary round-trips the engine through
+// CaptureState/RestoreState, exercising the frontier-snapshot resume path
+// end to end. The lazy DFA has no speculative segment mode — its printed
+// DFAStates and cache statistics are interning history, which concurrent
+// speculation would perturb — so chunks run sequentially and the printed
+// output is byte-identical at every k (see ARCHITECTURE.md).
+func dfaScanStream(e *dfa.Engine, seg []byte, k int) (symbols, reports int64, err error) {
+	if k <= 1 {
+		st, err := e.RunChecked(seg)
+		return st.Symbols, st.Reports, err
+	}
+	bounds := segment.Bounds(int64(len(seg)), k)
+	for ci := 0; ci < k; ci++ {
+		// RestoreState restarts per-stream stats, so each chunk's return is
+		// chunk-local; cache counters persist across the handoff.
+		if err := e.RestoreState(e.CaptureState()); err != nil {
+			return symbols, reports, err
+		}
+		st, rerr := e.RunChecked(seg[bounds[ci]:bounds[ci+1]])
+		symbols += st.Symbols
+		reports += st.Reports
+		if rerr != nil {
+			return symbols, reports, rerr
+		}
+	}
+	return symbols, reports, nil
+}
+
 // runDFAWhole scans every segment on one whole-automaton DFA engine (the
 // -j 1 path).
-func runDFAWhole(a *automata.Automaton, segs [][]byte, sess *obsSession, pt *telemetry.ProgressTracker) (symbols, reports int64, st dfa.Stats, err error) {
+func runDFAWhole(a *automata.Automaton, segs [][]byte, segments int, sess *obsSession, pt *telemetry.ProgressTracker) (symbols, reports int64, st dfa.Stats, err error) {
 	e, err := dfa.New(a)
 	if err != nil {
 		return 0, 0, dfa.Stats{}, err
@@ -310,11 +400,12 @@ func runDFAWhole(a *automata.Automaton, segs [][]byte, sess *obsSession, pt *tel
 	e.SetRecorder(sess.recorder())
 	for _, seg := range segs {
 		e.Reset()
-		s, err := e.RunChecked(seg)
-		symbols += s.Symbols
-		reports += s.Reports
-		if err != nil {
-			return symbols, reports, e.Stats(), err
+		k := segment.Resolve(int64(len(seg)), segments, 1, 0)
+		sym, rep, rerr := dfaScanStream(e, seg, k)
+		symbols += sym
+		reports += rep
+		if rerr != nil {
+			return symbols, reports, e.Stats(), rerr
 		}
 	}
 	return symbols, reports, e.Stats(), nil
@@ -327,7 +418,7 @@ func runDFAWhole(a *automata.Automaton, segs [][]byte, sess *obsSession, pt *tel
 // counters never cross components — so the summed statistics equal the
 // whole-engine run's exactly and the printed output is byte-identical to
 // -j 1.
-func runDFAParallel(a *automata.Automaton, segs [][]byte, workers int, sess *obsSession, pt *telemetry.ProgressTracker) (symbols, reports int64, agg dfa.Stats, err error) {
+func runDFAParallel(a *automata.Automaton, segs [][]byte, workers, segments int, sess *obsSession, pt *telemetry.ProgressTracker) (symbols, reports int64, agg dfa.Stats, err error) {
 	plan := partition.ForWorkers(a, workers)
 	// Per-slice engines re-scan the stream, so the heartbeat total is
 	// passes × stream bytes — same convention as the stats parallel path.
@@ -336,6 +427,7 @@ func runDFAParallel(a *automata.Automaton, segs [][]byte, workers int, sess *obs
 	}
 	perSlice := make([]dfa.Stats, plan.Passes())
 	sliceReports := make([]int64, plan.Passes())
+	sliceProgress := make([]int64, plan.Passes())
 	// Each slice's engine spans go to a fork adopted in slice-index order,
 	// so the manifest's span tree is deterministic at any worker count.
 	var sliceSpans []*telemetry.Spans
@@ -367,10 +459,12 @@ func runDFAParallel(a *automata.Automaton, segs [][]byte, workers int, sess *obs
 		defer func() { perSlice[i] = e.Stats() }()
 		for _, seg := range segs {
 			e.Reset() // clears per-run Symbols/Reports; cache counters persist
-			st, err := e.RunChecked(seg)
-			sliceReports[i] += st.Reports
-			if err != nil {
-				return err
+			k := segment.Resolve(int64(len(seg)), segments, workers, 0)
+			sym, rep, serr := dfaScanStream(e, seg, k)
+			sliceProgress[i] = sym
+			sliceReports[i] += rep
+			if serr != nil {
+				return serr
 			}
 		}
 		return nil
@@ -380,11 +474,17 @@ func runDFAParallel(a *automata.Automaton, segs [][]byte, workers int, sess *obs
 	}
 	if err != nil {
 		// Truncated: report the furthest stream position any slice reached,
-		// not the full stream length.
+		// not the full stream length. perSlice covers a slice that died
+		// before dfaScanStream returned (its Symbols are chunk-local under
+		// -segments, never more than the true progress).
 		for i, st := range perSlice {
 			reports += sliceReports[i]
-			if st.Symbols > symbols {
-				symbols = st.Symbols
+			p := sliceProgress[i]
+			if st.Symbols > p {
+				p = st.Symbols
+			}
+			if p > symbols {
+				symbols = p
 			}
 		}
 		return symbols, reports, agg, err
@@ -409,6 +509,7 @@ func cmdTable1(args []string) error {
 	scale, input, seed := suiteFlags(fs)
 	compress := fs.Bool("compress", false, "also run prefix-merge compression (slow at large scales)")
 	workers := workersFlag(fs)
+	segments := segmentsFlag(fs)
 	tf := telemetryFlags(fs)
 	gf := governorFlags(fs)
 	fs.Parse(args)
@@ -420,9 +521,11 @@ func cmdTable1(args []string) error {
 		return err
 	}
 	cfg := core.Config{Scale: *scale, InputBytes: *input, Seed: *seed}
-	rows, err := experiments.TableIParallel(context.Background(), cfg, *compress, *workers, sess.observer())
+	t1Config := suiteConfig(*scale, *input, *seed)
+	t1Config["segments"] = fmt.Sprintf("%d", *segments)
+	rows, err := experiments.TableIParallelSegmented(context.Background(), cfg, *compress, *workers, *segments, sess.observer())
 	if err != nil {
-		sess.setReport("table1", *workers, suiteConfig(*scale, *input, *seed), nil)
+		sess.setReport("table1", *workers, t1Config, nil)
 		return sess.closeTruncated(err)
 	}
 	fmt.Printf("Table I (scale %.3f, input %d bytes)\n", *scale, *input)
@@ -441,7 +544,7 @@ func cmdTable1(args []string) error {
 			},
 		}
 	}
-	sess.setReport("table1", *workers, suiteConfig(*scale, *input, *seed), krows)
+	sess.setReport("table1", *workers, t1Config, krows)
 	return sess.Close()
 }
 
@@ -450,6 +553,7 @@ func cmdTable2(args []string) error {
 	samples := fs.Int("samples", 4000, "dataset size")
 	seed := fs.Uint64("seed", 7, "seed")
 	workers := workersFlag(fs)
+	segments := segmentsFlag(fs)
 	tf := telemetryFlags(fs)
 	gf := governorFlags(fs)
 	fs.Parse(args)
@@ -460,10 +564,13 @@ func cmdTable2(args []string) error {
 	if err := armGovernor(sess, gf); err != nil {
 		return err
 	}
+	t2Config := map[string]string{
+		"samples": fmt.Sprintf("%d", *samples), "seed": fmt.Sprintf("%#x", *seed),
+		"segments": fmt.Sprintf("%d", *segments),
+	}
 	rows, err := experiments.TableIIParallel(context.Background(), *samples, *seed, *workers, sess.observer())
 	if err != nil {
-		sess.setReport("table2", *workers,
-			map[string]string{"samples": fmt.Sprintf("%d", *samples), "seed": fmt.Sprintf("%#x", *seed)}, nil)
+		sess.setReport("table2", *workers, t2Config, nil)
 		return sess.closeTruncated(err)
 	}
 	fmt.Println("Table II: Random Forest benchmark variant trade-offs")
@@ -482,8 +589,7 @@ func cmdTable2(args []string) error {
 			},
 		}
 	}
-	sess.setReport("table2", *workers,
-		map[string]string{"samples": fmt.Sprintf("%d", *samples), "seed": fmt.Sprintf("%#x", *seed)}, krows)
+	sess.setReport("table2", *workers, t2Config, krows)
 	return sess.Close()
 }
 
@@ -493,6 +599,7 @@ func cmdTable3(args []string) error {
 	itemsets := fs.Int("itemsets", 20_000, "input itemsets")
 	seed := fs.Uint64("seed", 3, "seed")
 	workers := workersFlag(fs)
+	segments := segmentsFlag(fs)
 	tf := telemetryFlags(fs)
 	gf := governorFlags(fs)
 	fs.Parse(args)
@@ -503,12 +610,13 @@ func cmdTable3(args []string) error {
 	if err := armGovernor(sess, gf); err != nil {
 		return err
 	}
+	t3Config := map[string]string{
+		"filters": fmt.Sprintf("%d", *filters), "itemsets": fmt.Sprintf("%d", *itemsets),
+		"seed": fmt.Sprintf("%#x", *seed), "segments": fmt.Sprintf("%d", *segments),
+	}
 	rows, err := experiments.TableIIIParallel(context.Background(), *filters, *itemsets, *seed, *workers, sess.observer())
 	if err != nil {
-		sess.setReport("table3", *workers, map[string]string{
-			"filters": fmt.Sprintf("%d", *filters), "itemsets": fmt.Sprintf("%d", *itemsets),
-			"seed": fmt.Sprintf("%#x", *seed),
-		}, nil)
+		sess.setReport("table3", *workers, t3Config, nil)
 		return sess.closeTruncated(err)
 	}
 	fmt.Println("Table III: impact of AP-specific padding on CPU engines")
@@ -537,10 +645,7 @@ func cmdTable3(args []string) error {
 			krows[i].Extra["fallbacks"] = float64(r.Fallbacks)
 		}
 	}
-	sess.setReport("table3", *workers, map[string]string{
-		"filters": fmt.Sprintf("%d", *filters), "itemsets": fmt.Sprintf("%d", *itemsets),
-		"seed": fmt.Sprintf("%#x", *seed),
-	}, krows)
+	sess.setReport("table3", *workers, t3Config, krows)
 	return sess.Close()
 }
 
@@ -549,6 +654,7 @@ func cmdTable4(args []string) error {
 	samples := fs.Int("samples", 4000, "dataset size")
 	seed := fs.Uint64("seed", 5, "seed")
 	workers := workersFlag(fs)
+	segments := segmentsFlag(fs)
 	tf := telemetryFlags(fs)
 	gf := governorFlags(fs)
 	fs.Parse(args)
@@ -559,10 +665,13 @@ func cmdTable4(args []string) error {
 	if err := armGovernor(sess, gf); err != nil {
 		return err
 	}
+	t4Config := map[string]string{
+		"samples": fmt.Sprintf("%d", *samples), "seed": fmt.Sprintf("%#x", *seed),
+		"segments": fmt.Sprintf("%d", *segments),
+	}
 	rows, err := experiments.TableIVParallel(context.Background(), *samples, *seed, *workers, sess.observer())
 	if err != nil {
-		sess.setReport("table4", *workers,
-			map[string]string{"samples": fmt.Sprintf("%d", *samples), "seed": fmt.Sprintf("%#x", *seed)}, nil)
+		sess.setReport("table4", *workers, t4Config, nil)
 		return sess.closeTruncated(err)
 	}
 	fmt.Println("Table IV: Random Forest classification throughput")
@@ -586,8 +695,7 @@ func cmdTable4(args []string) error {
 			krows[i].Extra["fallbacks"] = float64(r.Fallbacks)
 		}
 	}
-	sess.setReport("table4", *workers,
-		map[string]string{"samples": fmt.Sprintf("%d", *samples), "seed": fmt.Sprintf("%#x", *seed)}, krows)
+	sess.setReport("table4", *workers, t4Config, krows)
 	return sess.Close()
 }
 

@@ -10,8 +10,10 @@
 // 13 application domains, and experiment harnesses that regenerate every
 // table and figure in the paper's evaluation. A shared worker-pool layer
 // (internal/parallel) fans independent automata subgraphs and experiment
-// kernels across CPUs with byte-identical output at every worker count;
-// ARCHITECTURE.md maps the packages and the data flow.
+// kernels across CPUs, and a segment-parallel scanning layer
+// (internal/segment) splits long input streams across speculative
+// workers — both with byte-identical output at every worker and segment
+// count; ARCHITECTURE.md maps the packages and the data flow.
 //
 // Entry points:
 //

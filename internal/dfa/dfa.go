@@ -806,6 +806,117 @@ func (e *Engine) nfaStep(c *component, b byte) {
 	c.frontier, c.next = c.next, c.frontier
 }
 
+// StreamState is a portable snapshot of the engine's mid-stream
+// continuation point: the absolute offset of the next byte plus each
+// component's NFA frontier (sorted). The frontier is the determinization-
+// independent representation — a dstate index would be meaningless in
+// another engine whose lazy cache interned different states — so a
+// snapshot restores into any engine built from the same automaton,
+// whatever its cache or degradation state.
+type StreamState struct {
+	Offset    int64
+	Frontiers [][]automata.StateID
+}
+
+// CaptureState snapshots the engine between Run calls. The snapshot
+// shares no storage with the engine.
+func (e *Engine) CaptureState() *StreamState {
+	s := &StreamState{Offset: e.offset, Frontiers: make([][]automata.StateID, len(e.comps))}
+	for i, c := range e.comps {
+		var f []automata.StateID
+		if c.overflow {
+			f = append([]automata.StateID(nil), c.frontier...)
+			sort.Slice(f, func(x, y int) bool { return f[x] < f[y] })
+		} else {
+			// dstate frontiers are canonical (sorted at construction).
+			f = append([]automata.StateID(nil), c.dstates[e.cur[i]].frontier...)
+		}
+		s.Frontiers[i] = f
+	}
+	return s
+}
+
+// RestoreState resets the engine and re-seeds it to continue the logical
+// stream at s. Per-stream statistics (Symbols, Reports) restart from
+// zero, exactly like Reset; cache counters persist. A degraded component
+// seeds its fallback frontier directly; a cached component interns the
+// frontier as a dstate — subject to the usual state/cache budgets, so a
+// restore can itself trigger a DFA→NFA degradation (reports unchanged).
+// Returns an error when the snapshot's component count does not match
+// (it was captured from a different automaton) or when the governor
+// holds a run-stopping trip.
+func (e *Engine) RestoreState(s *StreamState) error {
+	if len(s.Frontiers) != len(e.comps) {
+		return errors.New("dfa: RestoreState: snapshot component count mismatch")
+	}
+	e.Reset()
+	e.live = e.live[:0]
+	for i, c := range e.comps {
+		f := append([]automata.StateID(nil), s.Frontiers[i]...)
+		sort.Slice(f, func(x, y int) bool { return f[x] < f[y] })
+		if c.overflow {
+			c.frontier = append(c.frontier[:0], f...)
+			if c.mark == nil {
+				c.mark = map[automata.StateID]bool{}
+			}
+			e.live = append(e.live, int32(i))
+			continue
+		}
+		key := frontierKey(f)
+		di, ok := c.index[key]
+		if !ok {
+			if len(c.dstates) >= c.budget {
+				// State budget exceeded: degrade like computeTransition's
+				// overflow path (dstates retained, DFAStates unchanged).
+				c.overflow = true
+				e.stats.Fallbacks++
+				e.stats.CacheEvictions += int64(len(c.dstates))
+				e.recordDegrade(i, int64(len(c.dstates)))
+				c.frontier = append(c.frontier[:0], f...)
+				if c.mark == nil {
+					c.mark = map[automata.StateID]bool{}
+				}
+				e.live = append(e.live, int32(i))
+				continue
+			}
+			cost := dstateCost(len(f), c.nClasses)
+			granted := true
+			if e.gov != nil {
+				g, err := e.gov.GrowCache(guard.SiteDFAConstruct, cost)
+				if err != nil {
+					return err
+				}
+				granted = g
+			}
+			if granted && e.opts.MaxCacheBytes > 0 && e.cacheBytes+cost > e.opts.MaxCacheBytes {
+				e.gov.ReleaseCache(cost)
+				granted = false
+			}
+			if !granted {
+				// Cache-byte budget exhausted: degrade and free, like the
+				// construction path.
+				e.degrade(c, i, f)
+				e.live = append(e.live, int32(i))
+				continue
+			}
+			di = uint32(len(c.dstates))
+			c.dstates = append(c.dstates, e.newDstate(c, f))
+			c.index[key] = di
+			c.bytes += cost
+			e.cacheBytes += cost
+		}
+		e.cur[i] = di
+		if di == 0 && len(c.allStarts) == 0 && !e.opts.NoDeadElision {
+			// Empty frontier and nothing can re-arm it: elide, as stepByte
+			// would have.
+			continue
+		}
+		e.live = append(e.live, int32(i))
+	}
+	e.offset = s.Offset
+	return nil
+}
+
 // CountReports runs over input after a Reset and returns the report count.
 func (e *Engine) CountReports(input []byte) int64 {
 	e.Reset()

@@ -1,0 +1,180 @@
+package dfa_test
+
+import (
+	"reflect"
+	"slices"
+	"testing"
+
+	"automatazoo/internal/dfa"
+	"automatazoo/internal/difftest"
+	"automatazoo/internal/randx"
+)
+
+func dfaReports(e *dfa.Engine) []dfa.Report {
+	return append([]dfa.Report(nil), e.Reports()...)
+}
+
+// TestDFACaptureRestoreResumesExactly: scanning a prefix, capturing, and
+// restoring into a FRESH engine must continue the logical stream exactly —
+// the stitched report stream matches the continuous run byte for byte.
+func TestDFACaptureRestoreResumesExactly(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		rng := randx.New(seed)
+		cfg := difftest.GenConfig{States: 16}
+		a := difftest.Generate(rng.Fork(), cfg)
+		input := difftest.GenInput(rng.Fork(), cfg, 2000)
+
+		ref, err := dfa.New(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.CollectReports = true
+		ref.Run(input)
+
+		for _, cut := range []int{0, 1, 137, 1000, 1999, 2000} {
+			head, err := dfa.New(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			head.CollectReports = true
+			head.Run(input[:cut])
+			snap := head.CaptureState()
+
+			tail, err := dfa.New(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tail.CollectReports = true
+			if err := tail.RestoreState(snap); err != nil {
+				t.Fatalf("seed %d cut %d: RestoreState: %v", seed, cut, err)
+			}
+			tail.Run(input[cut:])
+
+			got := append(dfaReports(head), dfaReports(tail)...)
+			if !slices.Equal(got, dfaReports(ref)) {
+				t.Fatalf("seed %d cut %d: report streams differ: ref %d, stitched %d",
+					seed, cut, len(ref.Reports()), len(got))
+			}
+			if !reflect.DeepEqual(tail.CaptureState(), ref.CaptureState()) {
+				t.Fatalf("seed %d cut %d: final stream states differ", seed, cut)
+			}
+		}
+	}
+}
+
+// TestDFARestoreAcrossDegradationBoundary: a snapshot is a frontier set,
+// not a dstate index, so it must restore across engines in different
+// degradation states — cached→fallback and fallback→cached both resume
+// with the exact report stream of the continuous cached run.
+func TestDFARestoreAcrossDegradationBoundary(t *testing.T) {
+	rng := randx.New(21)
+	cfg := difftest.GenConfig{States: 16}
+	a := difftest.Generate(rng.Fork(), cfg)
+	input := difftest.GenInput(rng.Fork(), cfg, 3000)
+	cut := 1500
+
+	ref, err := dfa.New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.CollectReports = true
+	ref.Run(input)
+	want := dfaReports(ref)
+
+	for _, dir := range []struct {
+		name       string
+		headForced bool
+	}{
+		{"cached head, fallback tail", false},
+		{"fallback head, cached tail", true},
+	} {
+		head, err := dfa.NewWithOptions(a, dfa.Options{ForceNFAFallback: dir.headForced})
+		if err != nil {
+			t.Fatal(err)
+		}
+		head.CollectReports = true
+		head.Run(input[:cut])
+		snap := head.CaptureState()
+
+		tail, err := dfa.NewWithOptions(a, dfa.Options{ForceNFAFallback: !dir.headForced})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail.CollectReports = true
+		if err := tail.RestoreState(snap); err != nil {
+			t.Fatalf("%s: RestoreState: %v", dir.name, err)
+		}
+		tail.Run(input[cut:])
+
+		got := append(dfaReports(head), dfaReports(tail)...)
+		if !slices.Equal(got, want) {
+			t.Fatalf("%s: report streams differ: ref %d, stitched %d", dir.name, len(want), len(got))
+		}
+	}
+}
+
+// TestDFARestoreResumeOnSameEngine: chunked scanning on ONE engine via
+// periodic capture/restore (the cmd-layer segmented-DFA pattern) must sum
+// per-chunk stats to the continuous totals for the per-stream fields.
+func TestDFARestoreResumeOnSameEngine(t *testing.T) {
+	rng := randx.New(33)
+	cfg := difftest.GenConfig{States: 16}
+	a := difftest.Generate(rng.Fork(), cfg)
+	input := difftest.GenInput(rng.Fork(), cfg, 4000)
+
+	ref, err := dfa.New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.CollectReports = true
+	refStats := ref.Run(input)
+
+	e, err := dfa.New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.CollectReports = true
+	var got []dfa.Report
+	var symbols, reports int64
+	for lo := 0; lo < len(input); lo += 1000 {
+		hi := min(lo+1000, len(input))
+		snap := e.CaptureState()
+		if err := e.RestoreState(snap); err != nil {
+			t.Fatalf("chunk at %d: RestoreState: %v", lo, err)
+		}
+		st := e.Run(input[lo:hi])
+		symbols += st.Symbols
+		reports += st.Reports
+		got = append(got, dfaReports(e)...)
+	}
+	if symbols != refStats.Symbols || reports != refStats.Reports {
+		t.Fatalf("summed per-chunk stats diverge: symbols %d/%d, reports %d/%d",
+			symbols, refStats.Symbols, reports, refStats.Reports)
+	}
+	if !slices.Equal(got, dfaReports(ref)) {
+		t.Fatalf("chunked report stream differs: ref %d, chunked %d", len(ref.Reports()), len(got))
+	}
+}
+
+// TestDFARestoreComponentMismatch: a snapshot from a different automaton
+// is rejected, not silently misapplied.
+func TestDFARestoreComponentMismatch(t *testing.T) {
+	rng := randx.New(44)
+	a := difftest.Generate(rng.Fork(), difftest.GenConfig{States: 24})
+	b := difftest.Generate(rng.Fork(), difftest.GenConfig{States: 4})
+
+	ea, err := dfa.New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := dfa.New(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ea.CaptureState().Frontiers) == len(eb.CaptureState().Frontiers) {
+		t.Skip("generated automata decomposed into the same component count")
+	}
+	if err := eb.RestoreState(ea.CaptureState()); err == nil {
+		t.Fatal("RestoreState accepted a snapshot from a different automaton")
+	}
+}

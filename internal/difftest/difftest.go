@@ -25,6 +25,7 @@
 package difftest
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -33,6 +34,7 @@ import (
 	"automatazoo/internal/charset"
 	"automatazoo/internal/dfa"
 	"automatazoo/internal/randx"
+	"automatazoo/internal/segment"
 	"automatazoo/internal/sim"
 	"automatazoo/internal/transform"
 )
@@ -383,6 +385,46 @@ func SimVsDFAWithOptions(a *automata.Automaton, input []byte, opts dfa.Options) 
 func SimVsCompressed(a *automata.Automaton, input []byte) *Divergence {
 	m, _ := transform.PrefixMerge(a)
 	return diffStreams("sim-compressed", simEvents(a, input), simEvents(m, input))
+}
+
+// SeqVsSegmented checks the segment-parallel scanner's byte-identity
+// invariant: segment.Run over the given segment count must reproduce the
+// sequential engine's exact statistics AND its exact (offset, code)
+// report multiset. The warmup window is deliberately tiny relative to the
+// soak's input lengths, so across seeds speculation both commits and
+// replays — both stitch paths are on trial. Counter-bearing automata are
+// valid input: they disable speculation inside the runner and exercise
+// the sequential-cascade path (including counter handoff across segment
+// boundaries on the master engine).
+func SeqVsSegmented(a *automata.Automaton, input []byte, segments int) *Divergence {
+	ref := sim.New(a)
+	ref.CollectReports = true
+	refStats := ref.Run(input)
+	refEvs := make([]Event, 0, len(ref.Reports()))
+	for _, r := range ref.Reports() {
+		refEvs = append(refEvs, Event{Offset: r.Offset, Code: r.Code})
+	}
+	res, err := segment.Run(context.Background(), a, input, segment.Options{
+		Segments:       segments,
+		Workers:        2,
+		Warmup:         48,
+		CollectReports: true,
+	})
+	if err != nil {
+		return &Divergence{Pair: PairSeqVsSegmented, Offset: -1, Detail: "segment.Run: " + err.Error()}
+	}
+	if res.Stats != refStats {
+		return &Divergence{
+			Pair: PairSeqVsSegmented, Offset: -1,
+			Detail: fmt.Sprintf("stats mismatch: sequential %+v, segmented %+v (stitch %+v)",
+				refStats, res.Stats, res.Stitch),
+		}
+	}
+	got := make([]Event, 0, len(res.Reports))
+	for _, r := range res.Reports {
+		got = append(got, Event{Offset: r.Offset, Code: r.Code})
+	}
+	return diffStreams(PairSeqVsSegmented, canon(refEvs), canon(got))
 }
 
 // SimVsBitNFA checks 8-striding: the bit-level reference interpreter vs

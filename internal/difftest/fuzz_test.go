@@ -67,6 +67,29 @@ func FuzzCompressPreservesReports(f *testing.F) {
 	})
 }
 
+// FuzzSeqVsSegmented drives the segment-parallel scanner's byte-identity
+// contract: for any generated automaton (counter-free or counter-bearing,
+// chosen by the seed) and any input, the stitched stats and report
+// multiset must equal one sequential engine's, at a segment count and
+// deliberately tiny warmup that exercise both the commit and replay
+// stitch paths.
+func FuzzSeqVsSegmented(f *testing.F) {
+	f.Add(uint64(1), uint8(3), []byte("abcabcabab"))
+	// Dense single-symbol input: deep frontiers, so tiny warmups misconverge
+	// and the replay path runs.
+	f.Add(uint64(7), uint8(5), []byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"))
+	f.Add(uint64(42), uint8(2), []byte("hhhhaaaahhhhaaaahhhh"))
+	f.Fuzz(func(t *testing.T, seed uint64, nseg uint8, raw []byte) {
+		cfg := GenConfig{Counters: int(seed % 3)} // 0 = speculative, >0 = cascade
+		a := Generate(randx.New(seed), cfg)
+		input := fuzzInput(raw, cfg)
+		segments := 2 + int(nseg%7)
+		if d := SeqVsSegmented(a, input, segments); d != nil {
+			t.Fatalf("seed %d segments %d: %s", seed, segments, d.String())
+		}
+	})
+}
+
 func FuzzRegexCompile(f *testing.F) {
 	f.Add("abc", []byte("xabcx"))
 	f.Add("a{2,5}b+", []byte("aaabbb"))

@@ -7,13 +7,14 @@ import (
 
 // Pair names for SoakConfig.Pairs and Divergence.Pair.
 const (
-	PairSimDFA        = "sim-dfa"
-	PairSimCompressed = "sim-compressed"
-	PairSimBitNFA     = "sim-bitnfa"
+	PairSimDFA         = "sim-dfa"
+	PairSimCompressed  = "sim-compressed"
+	PairSimBitNFA      = "sim-bitnfa"
+	PairSeqVsSegmented = "seq-segmented"
 )
 
 // AllPairs lists every oracle pair in canonical order.
-var AllPairs = []string{PairSimDFA, PairSimCompressed, PairSimBitNFA}
+var AllPairs = []string{PairSimDFA, PairSimCompressed, PairSimBitNFA, PairSeqVsSegmented}
 
 // SoakConfig parameterizes a soak run.
 type SoakConfig struct {
@@ -58,7 +59,11 @@ func (r SoakResult) Ok() bool { return len(r.Divergences) == 0 }
 //     dfa cannot execute counters, so that pair is excluded by type, and
 //     prefix-merge must leave counter behavior untouched;
 //   - a bit-level automaton is checked sim-vs-bitnfa (reference bit
-//     interpreter vs the 8-strided byte automaton under sim).
+//     interpreter vs the 8-strided byte automaton under sim);
+//   - a counter-free AND a counter-bearing automaton are checked
+//     seq-vs-segmented (the segment-parallel scanner's stitched stats and
+//     report multiset vs one sequential engine), over a segment count that
+//     varies with the trial index.
 //
 // Trials run sequentially: determinism is the point, and the whole default
 // soak is sub-second.
@@ -142,6 +147,21 @@ func Soak(cfg SoakConfig) SoakResult {
 			} else {
 				record(PairSimBitNFA, seed, refEvents, d)
 			}
+		}
+
+		// Appended last so the earlier pairs' rng derivation streams are
+		// unchanged by this pair's existence (seed-stable soak history).
+		if want[PairSeqVsSegmented] {
+			segments := 2 + i%3
+			cfgFree := GenConfig{States: cfg.States}
+			a := Generate(rng.Fork(), cfgFree)
+			input := GenInput(rng.Fork(), cfgFree, cfg.InputLen)
+			record(PairSeqVsSegmented, seed, len(simEvents(a, input)), SeqVsSegmented(a, input, segments))
+
+			cfgCtr := GenConfig{States: cfg.States, Counters: 1 + i%3}
+			ac := Generate(rng.Fork(), cfgCtr)
+			inputC := GenInput(rng.Fork(), cfgCtr, cfg.InputLen)
+			record(PairSeqVsSegmented, seed, len(simEvents(ac, inputC)), SeqVsSegmented(ac, inputC, segments))
 		}
 	}
 	return res

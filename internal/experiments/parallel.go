@@ -107,6 +107,20 @@ func perSecond(n int, elapsed time.Duration) float64 {
 // generated, simulated, and (optionally) compressed concurrently. Rows
 // are returned in Table I order regardless of completion order.
 func TableIParallel(ctx context.Context, cfg core.Config, compress bool, workers int, obs *Observer) ([]stats.Row, error) {
+	// segments == 1 pins the exact historical per-kernel execution path.
+	return TableIParallelSegmented(ctx, cfg, compress, workers, 1, obs)
+}
+
+// TableIParallelSegmented is TableIParallel with segment-parallel input
+// scanning (internal/segment) layered under the kernel fan-out: each
+// kernel's input streams are additionally split into segments scanned
+// speculatively and stitched exactly. segments follows the -segments flag
+// convention — 0 resolves automatically per stream from its size and
+// workers (the suite's standard inputs stay sequential), 1 disables
+// segmentation, N > 1 forces exactly N. Rows are identical for every
+// (workers, segments) pair; the speculation's stitch accounting surfaces
+// through the observer's registry (segment.* counters), never in rows.
+func TableIParallelSegmented(ctx context.Context, cfg core.Config, compress bool, workers, segments int, obs *Observer) ([]stats.Row, error) {
 	benches := core.All()
 	rows := make([]stats.Row, len(benches))
 	regs := localRegistries(obs, len(benches))
@@ -130,9 +144,12 @@ func TableIParallel(ctx context.Context, cfg core.Config, compress bool, workers
 		}
 		pt := obs.tracker(b.Name)
 		ssp := ksp.Start("simulate")
-		dyn, err := stats.ObserveSegmentsHooked(a, segs, stats.Hooks{
-			Registry: regs[i], Tracer: tr, Governor: gov,
-			Progress: pt, Recorder: rec,
+		dyn, _, err := stats.ObserveStreams(ctx, a, segs, stats.StreamOptions{
+			Workers: workers, Segments: segments,
+			Hooks: stats.Hooks{
+				Registry: regs[i], Tracer: tr, Governor: gov,
+				Progress: pt, Recorder: rec,
+			},
 		})
 		ssp.End()
 		if err != nil {

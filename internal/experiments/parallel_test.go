@@ -36,6 +36,34 @@ func TestTableIParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestTableISegmentedMatchesSequential: segment-parallel input scanning
+// must not perturb a single Table-I row — rows are identical whether each
+// kernel's streams are scanned sequentially or split across segments.
+// (The registries legitimately differ: segmented runs add segment.*
+// counters and warmup work to sim.*, which is exactly the waste/exactness
+// split the design promises.)
+func TestTableISegmentedMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite generation, twice")
+	}
+	cfg := core.Config{Scale: 0.004, InputBytes: 3000, Seed: 1}
+	seq, err := TableIParallel(context.Background(), cfg, false, runtime.NumCPU(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	seg, err := TableIParallelSegmented(context.Background(), cfg, false, runtime.NumCPU(), 3, &Observer{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, seg) {
+		t.Fatal("segmented Table I rows differ from sequential")
+	}
+	if reg.Counter("segment.segments").Value() == 0 {
+		t.Fatal("segmented run published no segment.* accounting")
+	}
+}
+
 // TestTableIIParallelMatchesSequential: training is deterministic per
 // seed, so the three variants must produce identical rows under fan-out.
 func TestTableIIParallelMatchesSequential(t *testing.T) {

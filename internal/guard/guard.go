@@ -77,6 +77,13 @@ const (
 	SiteDFAConstruct   = "dfa.construct"
 	SitePartitionSlice = "partition.slice"
 	SiteKernel         = "experiments.kernel"
+	// SiteSegment is the per-segment boundary of the segment-parallel
+	// scanner (internal/segment): checked before each segment task starts
+	// and at every warmup chunk of a speculative scan. Warmup boundaries
+	// pass n == 0 — warmup bytes are re-scanned stream bytes, so they must
+	// not count against MaxInputBytes (the segment-proper scan accounts
+	// them once, at the usual sim.chunk boundary).
+	SiteSegment = "segment.spec"
 )
 
 // TripError is the structured error for a tripped budget: which budget,

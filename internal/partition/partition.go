@@ -26,6 +26,7 @@ import (
 	"automatazoo/internal/automata"
 	"automatazoo/internal/guard"
 	"automatazoo/internal/parallel"
+	"automatazoo/internal/segment"
 	"automatazoo/internal/sim"
 	"automatazoo/internal/telemetry"
 )
@@ -156,6 +157,10 @@ type Result struct {
 	Enabled       int64
 	Active        int64
 	CounterPulses int64
+	// Stitch aggregates the segment-parallel scanner's accounting across
+	// slices (internal/segment); zero when the run was unsegmented
+	// (RunOptions.Segments <= 1).
+	Stitch segment.Stitch
 }
 
 func (r *Result) add(st sim.Stats) {
@@ -224,6 +229,23 @@ type RunOptions struct {
 	// Recorder, if non-nil, receives per-slice phase events and every
 	// slice engine's chunk/trip events for postmortem dumps.
 	Recorder *telemetry.FlightRecorder
+	// Segments, when > 1, additionally splits each slice's scan of the
+	// input into that many segment-parallel pieces (internal/segment):
+	// segment 0 scans exactly, later segments speculatively, and a
+	// validated stitch keeps the aggregate Result and the report multiset
+	// identical to the unsegmented run. The slices' segment tasks share
+	// one global work list, so Workers bounds total concurrency across
+	// both dimensions. 0 or 1 keeps the scan sequential per slice (the
+	// exact existing path); automatic resolution from input size is the
+	// caller's job (segment.Resolve) — the zero value never changes
+	// behavior. Counter-bearing slices cascade sequentially on their
+	// master engine, which is still exact.
+	//
+	// Report-order caveat: with Segments > 1, same-offset reports within
+	// one slice arrive in the canonical (offset, code, state) order rather
+	// than engine emission order. Offsets are still ascending and ties
+	// across slices still break by slice index; the multiset is unchanged.
+	Segments int
 }
 
 // RunParallel executes input once per slice, fanning the slices out over
@@ -257,6 +279,9 @@ func (p *Plan) Run(ctx context.Context, input []byte, opts RunOptions) (Result, 
 	gov := opts.Governor
 	if gov == nil && ctx != nil && ctx.Done() != nil {
 		gov = guard.New(ctx, guard.Budget{})
+	}
+	if opts.Segments > 1 {
+		return p.runSegmented(ctx, input, opts, gov)
 	}
 	var buffered [][]sim.Report
 	if opts.OnReport != nil {
@@ -311,6 +336,113 @@ func (p *Plan) Run(ctx context.Context, input []byte, opts RunOptions) (Result, 
 	}
 	for _, st := range stats {
 		res.add(st)
+	}
+	if err != nil {
+		root.End()
+		return res, err
+	}
+	if buffered != nil {
+		msp := root.Start("merge")
+		merged := mergeReports(buffered)
+		msp.End()
+		for _, r := range merged {
+			opts.OnReport(r)
+		}
+	}
+	root.End()
+	return res, nil
+}
+
+// runSegmented is Run's Segments > 1 path: every slice's scan is itself
+// segment-parallel. Three phases share the one worker budget:
+//
+//  1. extract each slice and prepare its segment.Runner (per-slice
+//     governor boundary and recorder phase event, like the unsegmented
+//     path);
+//  2. run every (slice, segment-task) pair off one flattened work list —
+//     a counter-bearing slice contributes a single cascade task, a
+//     counter-free slice one task per segment;
+//  3. stitch each slice left-to-right on its master engine and merge.
+//
+// The aggregate Result equals the unsegmented run's exactly (the stitch
+// validates or replays every speculative segment); Result.Stitch carries
+// the speculation accounting. On a budget trip the partial Result sums
+// each slice's exact master-scanned prefix, like the unsegmented path.
+func (p *Plan) runSegmented(ctx context.Context, input []byte, opts RunOptions, gov *guard.Governor) (Result, error) {
+	res := Result{Passes: p.Passes()}
+	root := opts.Spans.Start("partition.run")
+	var sliceSpans []*telemetry.Spans
+	if opts.Spans != nil {
+		sliceSpans = make([]*telemetry.Spans, len(p.Slices))
+		for i := range sliceSpans {
+			sliceSpans[i] = opts.Spans.Fork()
+		}
+	}
+	runners := make([]*segment.Runner, len(p.Slices))
+	err := parallel.ForEach(ctx, opts.Workers, len(p.Slices), func(i int) error {
+		opts.Recorder.Record(telemetry.RecPhase, i, guard.SitePartitionSlice, 0)
+		if err := gov.Boundary(guard.SitePartitionSlice, 0); err != nil {
+			return err
+		}
+		var ss *telemetry.Spans
+		if sliceSpans != nil {
+			ss = sliceSpans[i]
+		}
+		esp := ss.Start("extract")
+		sub, err := p.Extract(i)
+		esp.End()
+		if err != nil {
+			return err
+		}
+		runners[i] = segment.NewRunner(sub, input, segment.Options{
+			Segments:       opts.Segments,
+			Workers:        opts.Workers,
+			CollectReports: opts.OnReport != nil,
+			Registry:       opts.Registry,
+			Tracer:         opts.Tracer,
+			Spans:          ss,
+			Governor:       gov,
+			Progress:       opts.Progress,
+			Recorder:       opts.Recorder,
+		})
+		return nil
+	})
+	if err == nil {
+		// Flatten (slice, task) into one work list via prefix sums so the
+		// segment scans of all slices share the worker pool.
+		prefix := make([]int, len(runners)+1)
+		for i, r := range runners {
+			prefix[i+1] = prefix[i] + r.Tasks()
+		}
+		err = parallel.ForEach(ctx, opts.Workers, prefix[len(runners)], func(t int) error {
+			s := sort.Search(len(runners), func(i int) bool { return prefix[i+1] > t })
+			return runners[s].RunTask(t - prefix[s])
+		})
+	}
+	// Stitch sequentially: each Finish is cheap when speculation committed,
+	// and a replay after a trip stops at the next chunk boundary anyway.
+	// Finishing on the error path too keeps partial stats (and ends the
+	// runners' spans).
+	var buffered [][]sim.Report
+	if opts.OnReport != nil {
+		buffered = make([][]sim.Report, len(p.Slices))
+	}
+	for i, r := range runners {
+		if r == nil {
+			continue // phase 1 failed before this slice was prepared
+		}
+		sres, serr := r.Finish(err)
+		res.add(sres.Stats)
+		res.Stitch.Add(sres.Stitch)
+		if buffered != nil {
+			buffered[i] = sres.Reports
+		}
+		if err == nil && serr != nil {
+			err = serr
+		}
+	}
+	for i := range sliceSpans {
+		root.Adopt(sliceSpans[i])
 	}
 	if err != nil {
 		root.End()

@@ -6,8 +6,10 @@ import (
 	"strings"
 	"time"
 
+	"automatazoo/internal/automata"
 	"automatazoo/internal/core"
 	"automatazoo/internal/partition"
+	"automatazoo/internal/segment"
 	"automatazoo/internal/sim"
 	"automatazoo/internal/telemetry"
 )
@@ -28,6 +30,14 @@ type BenchOptions struct {
 	// run; 1 (the default) uses the exact sequential engine, the right
 	// choice when absolute numbers matter.
 	Workers int
+	// Segments > 1 adds, for each selected kernel, a second
+	// "<name>@seg<N>" row timing the same scan split into N input
+	// segments with max(Workers, N) scan workers — the sequential row
+	// stays the absolute-number baseline, and the @seg row measures the
+	// segment-parallel speedup on the same input. benchdiff matches rows
+	// by name, so @seg rows gate only against their baseline twins.
+	// <= 1 records no extra rows.
+	Segments int
 	// Timestamp is the caller-supplied provenance stamp recorded in the
 	// manifest (RFC3339, UTC recommended). Caller-supplied so artifacts
 	// can be byte-reproducible.
@@ -67,11 +77,11 @@ func Bench(opts BenchOptions) (*Manifest, error) {
 
 	rows := make([]KernelRow, 0, len(benches))
 	for _, b := range benches {
-		row, err := benchKernel(b, opts, spans, reg, clock)
+		krows, err := benchKernel(b, opts, spans, reg, clock)
 		if err != nil {
 			return nil, fmt.Errorf("bench %s: %w", b.Name, err)
 		}
-		rows = append(rows, row)
+		rows = append(rows, krows...)
 	}
 
 	env := CaptureEnv(opts.Workers)
@@ -91,6 +101,7 @@ func Bench(opts BenchOptions) (*Manifest, error) {
 			"seed":        fmt.Sprintf("%#x", opts.Config.Seed),
 			"runs":        fmt.Sprintf("%d", opts.Runs),
 			"workers":     fmt.Sprintf("%d", opts.Workers),
+			"segments":    fmt.Sprintf("%d", opts.Segments),
 		},
 		Kernels: rows,
 		Spans:   spans.Snapshot(),
@@ -99,8 +110,9 @@ func Bench(opts BenchOptions) (*Manifest, error) {
 }
 
 // benchKernel builds one benchmark and times Runs scans of its standard
-// input, under a root span named after the kernel.
-func benchKernel(b core.Benchmark, opts BenchOptions, spans *telemetry.Spans, reg *telemetry.Registry, clock func() int64) (KernelRow, error) {
+// input, under a root span named after the kernel. With Segments > 1 the
+// build is reused for a second, segment-parallel timing row.
+func benchKernel(b core.Benchmark, opts BenchOptions, spans *telemetry.Spans, reg *telemetry.Registry, clock func() int64) ([]KernelRow, error) {
 	ksp := spans.Start(b.Name)
 	defer ksp.End()
 
@@ -108,7 +120,7 @@ func benchKernel(b core.Benchmark, opts BenchOptions, spans *telemetry.Spans, re
 	a, segs, err := b.Build(opts.Config)
 	bsp.End()
 	if err != nil {
-		return KernelRow{}, err
+		return nil, err
 	}
 	var inputBytes int64
 	for _, seg := range segs {
@@ -146,7 +158,7 @@ func benchKernel(b core.Benchmark, opts BenchOptions, spans *telemetry.Spans, re
 				rsp.Adopt(fork)
 				if err != nil {
 					rsp.End()
-					return KernelRow{}, err
+					return nil, err
 				}
 				symbols += int64(len(seg))
 				reports += res.Reports
@@ -165,8 +177,64 @@ func benchKernel(b core.Benchmark, opts BenchOptions, spans *telemetry.Spans, re
 	}
 
 	agg := AggregateOf(rates)
-	return KernelRow{
+	rows := []KernelRow{{
 		Name:       b.Name,
+		States:     a.NumStates(),
+		Runs:       opts.Runs,
+		Symbols:    symbols,
+		Reports:    reports,
+		Unit:       "MB/s",
+		Throughput: &agg,
+	}}
+	if opts.Segments > 1 {
+		srow, err := benchSegmented(b.Name, a, segs, inputBytes, opts, ksp, spans, reg, clock)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, srow)
+	}
+	return rows, nil
+}
+
+// benchSegmented times the same kernel scan with each input stream split
+// into opts.Segments segments over max(Workers, Segments) scan workers.
+// Counter-bearing kernels cascade sequentially inside segment.Run, so
+// their @seg rows track the plain rows — that flatness is signal, not a
+// bug (see EXPERIMENTS.md).
+func benchSegmented(name string, a *automata.Automaton, segs [][]byte, inputBytes int64, opts BenchOptions, ksp *telemetry.Span, spans *telemetry.Spans, reg *telemetry.Registry, clock func() int64) (KernelRow, error) {
+	workers := opts.Workers
+	if opts.Segments > workers {
+		workers = opts.Segments
+	}
+	var symbols, reports int64
+	rates := make([]float64, 0, opts.Runs)
+	for r := 0; r < opts.Runs; r++ {
+		rsp := ksp.Start("scan@seg")
+		start := clock()
+		symbols, reports = 0, 0
+		for _, seg := range segs {
+			fork := spans.Fork()
+			res, err := segment.Run(context.Background(), a, seg, segment.Options{
+				Segments: opts.Segments,
+				Workers:  workers,
+				Registry: reg,
+				Spans:    fork,
+			})
+			rsp.Adopt(fork)
+			if err != nil {
+				rsp.End()
+				return KernelRow{}, err
+			}
+			symbols += res.Stats.Symbols
+			reports += res.Stats.Reports
+		}
+		elapsed := clock() - start
+		rsp.End()
+		rates = append(rates, bytesPerSec(inputBytes, elapsed)/1e6)
+	}
+	agg := AggregateOf(rates)
+	return KernelRow{
+		Name:       fmt.Sprintf("%s@seg%d", name, opts.Segments),
 		States:     a.NumStates(),
 		Runs:       opts.Runs,
 		Symbols:    symbols,

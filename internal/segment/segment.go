@@ -1,0 +1,530 @@
+// Package segment is the data-parallel input scanner: it splits ONE input
+// stream into N contiguous segments, scans segment 0 exactly from the real
+// start state while segments 1..N-1 scan speculatively, then stitches the
+// boundary frontiers left-to-right and commits or replays each segment so
+// the merged result is byte-identical to a single sequential scan.
+//
+// The speculation scheme is the warmup variant of the Simultaneous Finite
+// Automata construction (Sinya et al., PAPERS.md): a full SFA tracks every
+// possible entry state per segment; homogeneous NFA frontiers make the
+// exact-mapping form unnecessary, because the frontier transition is a
+// union-homomorphism and real frontiers forget their distant past quickly.
+// Each speculative segment therefore pre-scans a small warmup window (the
+// bytes just before its boundary) from the empty frontier; by the boundary
+// the warmup frontier has usually converged to the true one. Correctness
+// never depends on that convergence: at stitch time the committed entry
+// frontier is compared set-exactly against the master's, and a mismatch
+// replays the segment on the master engine. Speculation only buys speed;
+// validation guarantees the invariant.
+//
+// Invariants (pinned by the SeqVsSegmented difftest oracle and the
+// suite-wide matrix test):
+//
+//   - Stats (Symbols/Enabled/Active/Reports) are exactly the sequential
+//     run's: a committed segment's entry frontier equals the true one, and
+//     the engine is deterministic from (frontier, counters, offset).
+//   - The report multiset is exactly the sequential run's. Within one
+//     offset, reports are delivered in canonical (offset, code, state)
+//     order rather than engine emission order — the one observable
+//     difference, and only for same-offset ties.
+//   - Counter-bearing automata disable speculation (counter values don't
+//     converge like frontiers); the segments cascade sequentially on the
+//     master engine, trivially exact, with no parallel speedup.
+//
+// Waste is observable: Stitch counts committed/replayed segments and the
+// warmup/replay bytes, published as segment.* registry counters (and from
+// there /metrics and report manifests) — never to stdout, which must stay
+// byte-identical across -segments values.
+package segment
+
+import (
+	"context"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"automatazoo/internal/automata"
+	"automatazoo/internal/guard"
+	"automatazoo/internal/parallel"
+	"automatazoo/internal/sim"
+	"automatazoo/internal/telemetry"
+)
+
+const (
+	// DefaultWarmup is the speculative pre-scan window in bytes. Real
+	// rulesets' frontiers carry only a few pattern-lengths of history, so a
+	// few KiB converges essentially always; the cost is re-scanning this
+	// many bytes per speculative segment.
+	DefaultWarmup = 8 << 10
+	// DefaultAutoMinBytes is the smallest per-segment size auto resolution
+	// will create: below ~1 MiB per segment, stitch and warmup overhead
+	// outweigh the parallelism, and the suite's standard table inputs
+	// (hundreds of KiB) deliberately resolve to a single segment so default
+	// runs keep the exact historical execution path.
+	DefaultAutoMinBytes = 1 << 20
+	// warmChunk is the warmup governor-check granularity, matching the
+	// engines' ~4 KiB cooperative chunking.
+	warmChunk = 4096
+)
+
+// Resolve decides the segment count for an n-byte stream. requested > 1
+// asks for exactly that many (clamped to one byte per segment); 1 disables
+// segmentation; <= 0 means auto: min(workers, n/autoMin) so small inputs
+// stay sequential and large ones fan out to the worker count. autoMin <= 0
+// uses DefaultAutoMinBytes.
+func Resolve(n int64, requested, workers int, autoMin int64) int {
+	if n <= 1 {
+		return 1
+	}
+	if requested == 1 {
+		return 1
+	}
+	if requested > 1 {
+		k := int64(requested)
+		if k > n {
+			k = n
+		}
+		return int(k)
+	}
+	if autoMin <= 0 {
+		autoMin = DefaultAutoMinBytes
+	}
+	k := n / autoMin
+	if w := int64(parallel.Workers(workers)); k > w {
+		k = w
+	}
+	if k < 1 {
+		k = 1
+	}
+	return int(k)
+}
+
+// Bounds splits [0, n) into k contiguous segments of near-equal size and
+// returns the k+1 boundary offsets.
+func Bounds(n int64, k int) []int64 {
+	bounds := make([]int64, k+1)
+	for i := 0; i <= k; i++ {
+		bounds[i] = n * int64(i) / int64(k)
+	}
+	return bounds
+}
+
+// Options parameterizes a segment-parallel run. The zero value scans
+// sequentially (auto segment resolution over a zero-worker default).
+type Options struct {
+	// Segments is the requested segment count: <= 0 auto (from input size
+	// and Workers, see Resolve), 1 off, N exactly N.
+	Segments int
+	// Workers bounds the goroutines scanning segments; <= 0 means one per
+	// CPU, 1 scans the segments inline in order (still byte-identical).
+	Workers int
+	// Warmup is the speculative pre-scan window in bytes: 0 means
+	// DefaultWarmup, < 0 disables speculation entirely (segments cascade
+	// sequentially on the master engine — exact, but no speedup).
+	Warmup int
+	// AutoMinBytes floors the per-segment size under auto resolution
+	// (0 = DefaultAutoMinBytes).
+	AutoMinBytes int64
+	// CollectReports populates Result.Reports.
+	CollectReports bool
+	// OnReport, if non-nil, receives every report after the stitch
+	// completes, in canonical (offset, code, state) order.
+	OnReport func(sim.Report)
+	// Registry, if non-nil, is attached to every engine (master and
+	// speculative); sim.* counters describe engine work including warmup
+	// and replay waste, and the segment.* stitch counters are published
+	// here. Exact stream statistics come from Result.Stats, never from
+	// registry deltas.
+	Registry *telemetry.Registry
+	// Tracer, if non-nil, is attached to the master engine only: committed
+	// segments are scanned by speculative engines, so a traced segmented
+	// run records the master's work (segment 0 plus replays), not the full
+	// stream. Use -segments 1 for complete traces.
+	Tracer telemetry.Tracer
+	// Spans, if non-nil, receives a "segment.run" phase span with
+	// "segment.scan" (per-task scans, fork-adopted in segment order) and
+	// "segment.stitch" children.
+	Spans *telemetry.Spans
+	// Governor, if non-nil, bounds the run: every segment task checks in
+	// at the segment.spec boundary before scanning and at each warmup
+	// chunk, and all engines run governed. One trip anywhere stops every
+	// segment cooperatively at its next chunk boundary.
+	Governor *guard.Governor
+	// Progress, if non-nil, receives chunk-boundary heartbeats from every
+	// engine (commutative across segments/workers). Warmup bytes do not
+	// beat; replayed bytes beat twice — ETA is approximate under waste.
+	Progress *telemetry.ProgressTracker
+	// Recorder, if non-nil, receives a RecSegment event per task plus
+	// commit/replay outcomes, and every engine's chunk/trip events.
+	Recorder *telemetry.FlightRecorder
+}
+
+// Stitch counts the stitch outcomes of one segmented run — the
+// speculation-waste observability surface.
+type Stitch struct {
+	// Segments is the resolved segment count (1 = segmentation off).
+	Segments int64
+	// Speculated counts segments scanned speculatively in phase 1.
+	Speculated int64
+	// Committed counts speculative segments whose warmup frontier matched
+	// the true boundary frontier and were committed as-is.
+	Committed int64
+	// Replayed counts speculative segments whose frontier mismatched and
+	// were re-scanned on the master engine (pure waste).
+	Replayed int64
+	// WarmupBytes is the total bytes pre-scanned by speculative warmup.
+	WarmupBytes int64
+	// ReplayBytes is the total bytes re-scanned due to failed speculation.
+	ReplayBytes int64
+}
+
+// Add accumulates other into s (merging per-stream or per-slice stitches).
+func (s *Stitch) Add(other Stitch) {
+	s.Segments += other.Segments
+	s.Speculated += other.Speculated
+	s.Committed += other.Committed
+	s.Replayed += other.Replayed
+	s.WarmupBytes += other.WarmupBytes
+	s.ReplayBytes += other.ReplayBytes
+}
+
+// Publish adds the stitch counts to reg's segment.* counters (nil-safe).
+func (s Stitch) Publish(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("segment.segments").Add(s.Segments)
+	reg.Counter("segment.speculated").Add(s.Speculated)
+	reg.Counter("segment.committed").Add(s.Committed)
+	reg.Counter("segment.replayed").Add(s.Replayed)
+	reg.Counter("segment.warmup_bytes").Add(s.WarmupBytes)
+	reg.Counter("segment.replay_bytes").Add(s.ReplayBytes)
+}
+
+// Result aggregates one segmented scan of one stream.
+type Result struct {
+	// Stats is exactly the sequential run's statistics for the scanned
+	// prefix (the whole stream on success, the bytes before the trip on
+	// truncation).
+	Stats sim.Stats
+	// Reports holds the canonical (offset, code, state)-ordered report
+	// stream when Options.CollectReports is set.
+	Reports []sim.Report
+	// Stitch is the speculation/stitch outcome tally.
+	Stitch Stitch
+}
+
+// spec holds one speculative segment's phase-1 output awaiting the stitch.
+type spec struct {
+	ok      bool
+	entry   []automata.StateID // speculated boundary frontier (sorted)
+	exit    []automata.StateID // frontier after the segment (sorted)
+	stats   sim.Stats
+	reports []sim.Report
+}
+
+// Runner is a resumable segmented scan: phase 1 exposes Tasks()
+// independent work items (RunTask is safe to call concurrently for
+// distinct tasks — the partition layer flattens them into its worker pool
+// alongside slice tasks), and Finish performs the sequential left-to-right
+// stitch. Use Run for the standalone whole-scan form.
+type Runner struct {
+	a     *automata.Automaton
+	input []byte
+	opts  Options
+
+	k      int
+	bounds []int64
+	specOK bool
+	warmup int
+
+	master *sim.Engine
+	pool   sync.Pool
+	specs  []spec
+	forks  []*telemetry.Spans
+	root   *telemetry.Span
+
+	collect bool
+	perSeg  [][]sim.Report
+	total   sim.Stats
+
+	speculated  atomic.Int64
+	warmupBytes atomic.Int64
+}
+
+// NewRunner prepares a segmented scan of input. Resolution happens here:
+// Segments() reports the outcome, and a resolution of 1 degenerates to an
+// exact single-task sequential scan.
+func NewRunner(a *automata.Automaton, input []byte, opts Options) *Runner {
+	r := &Runner{a: a, input: input, opts: opts}
+	r.warmup = opts.Warmup
+	if r.warmup == 0 {
+		r.warmup = DefaultWarmup
+	}
+	if r.warmup < 0 {
+		r.warmup = 0
+	}
+	r.k = Resolve(int64(len(input)), opts.Segments, opts.Workers, opts.AutoMinBytes)
+	r.bounds = Bounds(int64(len(input)), r.k)
+	r.specOK = r.k > 1 && r.warmup > 0 && a.NumCounters() == 0
+	r.collect = opts.CollectReports || opts.OnReport != nil
+	r.specs = make([]spec, r.k)
+	r.perSeg = make([][]sim.Report, r.k)
+
+	r.master = sim.New(a)
+	r.master.SetRegistry(opts.Registry)
+	r.master.SetTracer(opts.Tracer)
+	r.master.SetGovernor(opts.Governor)
+	r.master.SetProgress(opts.Progress)
+	r.master.SetRecorder(opts.Recorder)
+
+	r.pool.New = func() any {
+		e := sim.New(a)
+		e.SetRegistry(opts.Registry)
+		e.SetGovernor(opts.Governor)
+		e.SetProgress(opts.Progress)
+		e.SetRecorder(opts.Recorder)
+		return e
+	}
+
+	r.root = opts.Spans.Start("segment.run")
+	if opts.Spans != nil {
+		r.forks = make([]*telemetry.Spans, r.Tasks())
+		for i := range r.forks {
+			r.forks[i] = opts.Spans.Fork()
+		}
+	}
+	return r
+}
+
+// Segments returns the resolved segment count.
+func (r *Runner) Segments() int { return r.k }
+
+// Tasks returns the phase-1 work-item count: one per segment when
+// speculation is on, otherwise 1 (the stitch cascades the segments
+// sequentially on the master engine).
+func (r *Runner) Tasks() int {
+	if r.specOK {
+		return r.k
+	}
+	return 1
+}
+
+// RunTask executes phase-1 work item i. Task 0 is the master engine's
+// exact scan of segment 0 (so a trip still yields exact prefix-partial
+// statistics); tasks 1..k-1 are speculative warmup+scan. Distinct tasks
+// may run concurrently.
+func (r *Runner) RunTask(i int) error {
+	if r.forks != nil {
+		sp := r.forks[i].Start("segment.scan")
+		defer sp.End()
+	}
+	r.opts.Recorder.Record(telemetry.RecSegment, i, guard.SiteSegment, r.bounds[i+1]-r.bounds[i])
+	if err := r.opts.Governor.Boundary(guard.SiteSegment, 0); err != nil {
+		return err
+	}
+	if i == 0 {
+		return r.scanMaster(0)
+	}
+	return r.speculate(i)
+}
+
+// scanMaster scans segment i on the master engine, accumulating exact
+// stats and (canonicalized) reports. Called for segment 0 in phase 1 and
+// for cascaded/replayed segments during the stitch.
+func (r *Runner) scanMaster(i int) error {
+	lo, hi := r.bounds[i], r.bounds[i+1]
+	var buf []sim.Report
+	if r.collect {
+		r.master.OnReport = func(rep sim.Report) { buf = append(buf, rep) }
+	}
+	base := r.master.Stats()
+	st, err := r.master.RunChecked(r.input[lo:hi])
+	r.master.OnReport = nil
+	r.total = addStats(r.total, subStats(st, base))
+	r.perSeg[i] = canonReports(buf)
+	return err
+}
+
+// speculate runs segment i's warmup and speculative scan on a pooled
+// engine, leaving the candidate result in r.specs[i].
+func (r *Runner) speculate(i int) error {
+	e := r.pool.Get().(*sim.Engine)
+	defer r.pool.Put(e)
+	e.Reset()
+	lo, hi := r.bounds[i], r.bounds[i+1]
+	ws := lo - int64(r.warmup)
+	if ws < 0 {
+		ws = 0
+	}
+	// Warmup: re-scan the window before the boundary from the empty
+	// frontier. Reports are suppressed (no OnReport/CollectReports) and the
+	// bytes are not charged to the input budget — they are re-scanned
+	// stream bytes, already charged once by whichever engine owns them —
+	// but the governor still gets a trip/fault checkpoint per chunk so a
+	// tripped run unwinds speculative workers too.
+	e.SetOffset(ws)
+	for off := ws; off < lo; {
+		end := off + warmChunk
+		if end > lo {
+			end = lo
+		}
+		if err := r.opts.Governor.Boundary(guard.SiteSegment, 0); err != nil {
+			return err
+		}
+		for _, b := range r.input[off:end] {
+			e.Step(b)
+		}
+		off = end
+	}
+	r.warmupBytes.Add(lo - ws)
+	r.speculated.Add(1)
+
+	entry := e.FrontierSnapshot()
+	base := e.Stats()
+	var buf []sim.Report
+	if r.collect {
+		e.OnReport = func(rep sim.Report) { buf = append(buf, rep) }
+	}
+	st, err := e.RunChecked(r.input[lo:hi])
+	e.OnReport = nil
+	if err != nil {
+		return err
+	}
+	r.specs[i] = spec{
+		ok:      true,
+		entry:   entry,
+		exit:    e.FrontierSnapshot(),
+		stats:   subStats(st, base),
+		reports: canonReports(buf),
+	}
+	return nil
+}
+
+// Finish performs the left-to-right stitch after phase 1 and returns the
+// merged result. phase1Err, when non-nil, short-circuits: the master's
+// exact partial statistics are returned with it (speculative partial work
+// is discarded — it may cover bytes the master never reached).
+func (r *Runner) Finish(phase1Err error) (Result, error) {
+	for _, f := range r.forks {
+		r.root.Adopt(f)
+	}
+	res := Result{Stitch: Stitch{
+		Segments:    int64(r.k),
+		Speculated:  r.speculated.Load(),
+		WarmupBytes: r.warmupBytes.Load(),
+	}}
+	if phase1Err != nil {
+		res.Stats = r.total
+		res.Stitch.Publish(r.opts.Registry)
+		r.root.End()
+		return res, phase1Err
+	}
+	ssp := r.root.Start("segment.stitch")
+	var err error
+	for i := 1; i < r.k; i++ {
+		s := &r.specs[i]
+		if r.specOK && s.ok && slices.Equal(r.master.FrontierSnapshot(), s.entry) {
+			// Speculation validated: the segment was scanned from the true
+			// boundary frontier, so its stats and reports are exact. Jump
+			// the master to the segment's exit state.
+			r.total = addStats(r.total, s.stats)
+			r.perSeg[i] = s.reports
+			r.master.RestoreState(&sim.StreamState{Offset: r.bounds[i+1], Frontier: s.exit})
+			res.Stitch.Committed++
+			r.opts.Recorder.Record(telemetry.RecSegment, i, "commit", r.bounds[i+1]-r.bounds[i])
+			continue
+		}
+		if r.specOK {
+			res.Stitch.Replayed++
+			res.Stitch.ReplayBytes += r.bounds[i+1] - r.bounds[i]
+			r.opts.Recorder.Record(telemetry.RecSegment, i, "replay", r.bounds[i+1]-r.bounds[i])
+		}
+		if err = r.scanMaster(i); err != nil {
+			break
+		}
+	}
+	ssp.End()
+	res.Stats = r.total
+	res.Stitch.Publish(r.opts.Registry)
+	if err != nil {
+		r.root.End()
+		return res, err
+	}
+	merged := flatten(r.perSeg)
+	if r.opts.CollectReports {
+		res.Reports = merged
+	}
+	if r.opts.OnReport != nil {
+		for _, rep := range merged {
+			r.opts.OnReport(rep)
+		}
+	}
+	r.root.End()
+	return res, nil
+}
+
+// Run scans input with segment parallelism and returns the stitched
+// result. The result is byte-identical (stats and report multiset) to a
+// single sequential scan; see the package comment for the one ordering
+// caveat on same-offset reports.
+func Run(ctx context.Context, a *automata.Automaton, input []byte, opts Options) (Result, error) {
+	// A cancellable ctx without an explicit governor still gets mid-scan
+	// cancellation observability, mirroring partition.Run.
+	if opts.Governor == nil && ctx != nil && ctx.Done() != nil {
+		opts.Governor = guard.New(ctx, guard.Budget{})
+	}
+	r := NewRunner(a, input, opts)
+	err := parallel.ForEach(ctx, opts.Workers, r.Tasks(), r.RunTask)
+	return r.Finish(err)
+}
+
+// canonReports sorts one segment's report buffer into the canonical
+// (offset, code, state) order. Segments are disjoint and ascending, so
+// concatenating canonical per-segment buffers segment-major yields a
+// globally canonical stream.
+func canonReports(buf []sim.Report) []sim.Report {
+	sort.Slice(buf, func(x, y int) bool {
+		if buf[x].Offset != buf[y].Offset {
+			return buf[x].Offset < buf[y].Offset
+		}
+		if buf[x].Code != buf[y].Code {
+			return buf[x].Code < buf[y].Code
+		}
+		return buf[x].State < buf[y].State
+	})
+	return buf
+}
+
+func flatten(perSeg [][]sim.Report) []sim.Report {
+	total := 0
+	for _, b := range perSeg {
+		total += len(b)
+	}
+	out := make([]sim.Report, 0, total)
+	for _, b := range perSeg {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func addStats(a, b sim.Stats) sim.Stats {
+	return sim.Stats{
+		Symbols:       a.Symbols + b.Symbols,
+		Enabled:       a.Enabled + b.Enabled,
+		Active:        a.Active + b.Active,
+		CounterPulses: a.CounterPulses + b.CounterPulses,
+		Reports:       a.Reports + b.Reports,
+	}
+}
+
+func subStats(a, b sim.Stats) sim.Stats {
+	return sim.Stats{
+		Symbols:       a.Symbols - b.Symbols,
+		Enabled:       a.Enabled - b.Enabled,
+		Active:        a.Active - b.Active,
+		CounterPulses: a.CounterPulses - b.CounterPulses,
+		Reports:       a.Reports - b.Reports,
+	}
+}

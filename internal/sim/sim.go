@@ -662,6 +662,78 @@ func (e *Engine) EnableState(id automata.StateID) {
 	e.frontier = append(e.frontier, id)
 }
 
+// CounterSnapshot is one counter's runtime value inside a StreamState.
+type CounterSnapshot struct {
+	ID      automata.StateID
+	Value   uint32
+	Latched bool
+}
+
+// StreamState is a portable snapshot of an engine's mid-stream
+// continuation point: the absolute input offset of the next symbol, the
+// enabled frontier for that symbol (sorted, excluding all-input start
+// states — those re-arm from the byte index every symbol and carry no
+// stream state), and the live counter values/latches. Two engines at the
+// same StreamState produce identical reports and identical per-symbol
+// statistics on the same remaining input; this is the handoff contract
+// the segment-parallel scanner (internal/segment) stitches on.
+type StreamState struct {
+	Offset   int64
+	Frontier []automata.StateID
+	Counters []CounterSnapshot
+}
+
+// FrontierSnapshot returns a sorted copy of the frontier enabled for the
+// next symbol. The frontier list is deduplicated (see EnableState), so
+// the snapshot is a canonical set representation: two engines at the same
+// stream position return equal snapshots regardless of the order their
+// frontiers were built in.
+func (e *Engine) FrontierSnapshot() []automata.StateID {
+	f := append([]automata.StateID(nil), e.frontier...)
+	slices.Sort(f)
+	return f
+}
+
+// CaptureState snapshots the engine's continuation state between Step
+// calls. The snapshot shares nothing with the engine and stays valid
+// across Reset/RestoreState.
+func (e *Engine) CaptureState() *StreamState {
+	s := &StreamState{Offset: e.offset, Frontier: e.FrontierSnapshot()}
+	for id, v := range e.counterVal {
+		s.Counters = append(s.Counters, CounterSnapshot{ID: id, Value: v, Latched: e.latched[id]})
+	}
+	slices.SortFunc(s.Counters, func(a, b CounterSnapshot) int { return int(a.ID) - int(b.ID) })
+	return s
+}
+
+// RestoreState resets the engine and re-seeds it to continue the logical
+// stream at s: the frontier is re-armed, counter values and latches are
+// reinstated, and the next Step consumes the symbol at s.Offset (reports
+// carry absolute offsets; start-of-data states fire only when s.Offset is
+// 0). Per-stream accounting restarts: Stats and collected reports cover
+// only the work after the restore, exactly like Reset — callers stitching
+// a stream from several engines sum the per-piece stats themselves.
+func (e *Engine) RestoreState(s *StreamState) {
+	e.Reset()
+	for _, id := range s.Frontier {
+		e.EnableState(id)
+	}
+	for _, c := range s.Counters {
+		e.counterVal[c.ID] = c.Value
+		if c.Latched {
+			e.latched[c.ID] = true
+		}
+	}
+	e.offset = s.Offset
+}
+
+// SetOffset positions the engine at an absolute stream offset without
+// touching any other state — the segment-parallel scanner uses it to give
+// a speculative engine correct report offsets (and correct start-of-data
+// suppression: only offset 0 arms StartOfData states) before it scans a
+// mid-stream slice. Call it between Step calls.
+func (e *Engine) SetOffset(off int64) { e.offset = off }
+
 // CountReports runs the engine over input without collecting report
 // structures and returns only the number of reports. The engine is Reset
 // first.

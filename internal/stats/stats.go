@@ -20,6 +20,7 @@ import (
 	"automatazoo/internal/automata"
 	"automatazoo/internal/guard"
 	"automatazoo/internal/partition"
+	"automatazoo/internal/segment"
 	"automatazoo/internal/sim"
 	"automatazoo/internal/telemetry"
 	"automatazoo/internal/transform"
@@ -230,6 +231,78 @@ func ObserveSegmentsParallelHooked(ctx context.Context, a *automata.Automaton, s
 		reports += res.Reports
 	}
 	return dynamicFrom(streamSymbols, active, enabled, reports), nil
+}
+
+// StreamOptions parameterizes ObserveStreams.
+type StreamOptions struct {
+	// Workers bounds the scan's goroutines (<= 0 means one per CPU) and
+	// feeds the automatic segment resolution.
+	Workers int
+	// Segments controls segment-parallel scanning of each stream
+	// (internal/segment): 0 resolves automatically per stream from its
+	// size and Workers (suite-sized inputs stay sequential, multi-MB
+	// streams fan out), 1 disables it, N > 1 forces exactly N segments.
+	Segments int
+	Hooks
+}
+
+// ObserveStreams runs each stream as an independent scan — the engine
+// state restarts per stream, like ObserveSegmentsHooked — optionally
+// splitting each stream into segment-parallel pieces. It returns the
+// Dynamic profile, the summed stitch accounting (zero when every stream
+// resolved to one segment), and the first error.
+//
+// The Dynamic is derived from each stream's exact stitched Result, never
+// from registry deltas, so it is identical for every Workers and Segments
+// value — warmup and replay waste stay out of the Table-I columns and are
+// visible only in the stitch accounting and the registry's sim.*/segment.*
+// counters. When every stream resolves to a single segment the call
+// delegates to ObserveSegmentsHooked, keeping the exact historical
+// execution path (and its registry-delta derivation, which is equal there).
+// On a governor trip, completed streams' exact profiles are returned with
+// the error; the tripped stream's partial work is dropped, matching
+// ObserveSegmentsParallelHooked.
+func ObserveStreams(ctx context.Context, a *automata.Automaton, streams [][]byte, opts StreamOptions) (Dynamic, segment.Stitch, error) {
+	segmented := false
+	ks := make([]int, len(streams))
+	for i, s := range streams {
+		ks[i] = segment.Resolve(int64(len(s)), opts.Segments, opts.Workers, 0)
+		if ks[i] > 1 {
+			segmented = true
+		}
+	}
+	if !segmented {
+		d, err := ObserveSegmentsHooked(a, streams, opts.Hooks)
+		return d, segment.Stitch{}, err
+	}
+	if opts.Progress != nil {
+		var total int64
+		for _, s := range streams {
+			total += int64(len(s))
+		}
+		// Replayed segments re-scan their bytes, so progress can overshoot
+		// this total slightly; ETA stays meaningful (waste is bounded by
+		// the stitch accounting).
+		opts.Progress.AddTotal(total)
+	}
+	var stitch segment.Stitch
+	var symbols, active, enabled, reports int64
+	for i, s := range streams {
+		res, err := segment.Run(ctx, a, s, segment.Options{
+			Segments: ks[i], Workers: opts.Workers,
+			Registry: opts.Registry, Tracer: opts.Tracer, Governor: opts.Governor,
+			Progress: opts.Progress, Recorder: opts.Recorder,
+		})
+		stitch.Add(res.Stitch)
+		if err != nil {
+			return dynamicFrom(symbols, active, enabled, reports), stitch, err
+		}
+		symbols += int64(len(s))
+		active += res.Stats.Active
+		enabled += res.Stats.Enabled
+		reports += res.Stats.Reports
+	}
+	return dynamicFrom(symbols, active, enabled, reports), stitch, nil
 }
 
 // simCounters reads the four sim.* counters behind the dynamic columns in

@@ -25,6 +25,9 @@ const (
 	RecPanic
 	// RecStall: the watchdog declared a stall (val = quiet nanos).
 	RecStall
+	// RecSegment: a segment-parallel scan event (name = site or outcome —
+	// "commit"/"replay", comp = segment index, val = segment bytes).
+	RecSegment
 )
 
 // String returns the NDJSON wire name of the event kind.
@@ -44,6 +47,8 @@ func (k RecKind) String() string {
 		return "panic"
 	case RecStall:
 		return "stall"
+	case RecSegment:
+		return "segment"
 	}
 	return "unknown"
 }

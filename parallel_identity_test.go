@@ -1,8 +1,9 @@
-// Suite-wide `-j 1` ≡ `-j N` guarantee: for every benchmark and both
-// engines, the output lines `azoo run` prints must be byte-identical at
-// every worker count. The format strings and per-engine accounting below
-// mirror cmdRun in cmd/azoo/main.go exactly — if that output changes,
-// this test must change with it.
+// Suite-wide `-j 1` ≡ `-j N` ≡ `-segments K` guarantee: for every
+// benchmark and both engines, the output lines `azoo run` prints must be
+// byte-identical at every worker count and every segment count. The
+// format strings and per-engine accounting below mirror cmdRun in
+// cmd/azoo/main.go exactly — if that output changes, this test must
+// change with it.
 package automatazoo_test
 
 import (
@@ -16,17 +17,28 @@ import (
 	"automatazoo/internal/dfa"
 	"automatazoo/internal/parallel"
 	"automatazoo/internal/partition"
+	"automatazoo/internal/segment"
 	"automatazoo/internal/stats"
 )
 
 func TestRunOutputByteIdenticalAcrossWorkers(t *testing.T) {
 	if testing.Short() {
-		t.Skip("generates and scans the full suite at two worker counts")
+		t.Skip("generates and scans the full suite at several worker/segment counts")
 	}
 	cfg := core.Config{Scale: 0.01, InputBytes: 30_000, Seed: 0xe1}
 	workers := runtime.NumCPU()
 	if workers < 2 {
 		workers = 2
+	}
+	// The (workers × segments) matrix, all compared against the (1, 1)
+	// baseline. Explicit -segments bypasses the auto size floor, so the
+	// 30 KB suite streams really are split; segments=1 pins the exact
+	// historical path, odd counts produce uneven tail chunks.
+	variants := []struct{ j, segs int }{
+		{1, 3},
+		{1, 5},
+		{workers, 1},
+		{workers, 3},
 	}
 	for _, bench := range core.All() {
 		bench := bench
@@ -36,30 +48,46 @@ func TestRunOutputByteIdenticalAcrossWorkers(t *testing.T) {
 				t.Fatalf("Build: %v", err)
 			}
 
-			seq := stats.ObserveSegments(a, segs, nil, nil)
-			par, err := stats.ObserveSegmentsParallel(context.Background(), a, segs, workers, nil, nil)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if s, p := nfaLine(bench.Name, a, seq), nfaLine(bench.Name, a, par); s != p {
-				t.Errorf("nfa output differs:\n -j 1: %q\n -j %d: %q", s, workers, p)
+			seqNFA := nfaLine(bench.Name, a, stats.ObserveSegments(a, segs, nil, nil))
+			var seqDFA string
+			if a.NumCounters() == 0 {
+				// The dfa engine rejects counter automata at any -j, exactly
+				// as Hyperscan skips such rules.
+				seqDFA, err = dfaLines(bench.Name, a, segs, 1, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
 			}
 
-			// The dfa engine rejects counter automata at any -j, exactly
-			// as Hyperscan skips such rules.
-			if a.NumCounters() > 0 {
-				return
-			}
-			s, err := dfaLines(bench.Name, a, segs, 1)
-			if err != nil {
-				t.Fatal(err)
-			}
-			p, err := dfaLines(bench.Name, a, segs, workers)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if s != p {
-				t.Errorf("dfa output differs:\n -j 1: %q\n -j %d: %q", s, workers, p)
+			for _, v := range variants {
+				var dyn stats.Dynamic
+				if v.segs > 1 {
+					dyn, _, err = stats.ObserveStreams(context.Background(), a, segs,
+						stats.StreamOptions{Workers: v.j, Segments: v.segs})
+				} else if v.j > 1 {
+					dyn, err = stats.ObserveSegmentsParallel(context.Background(), a, segs, v.j, nil, nil)
+				} else {
+					dyn = stats.ObserveSegments(a, segs, nil, nil)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := nfaLine(bench.Name, a, dyn); got != seqNFA {
+					t.Errorf("nfa output differs:\n -j 1: %q\n -j %d -segments %d: %q",
+						seqNFA, v.j, v.segs, got)
+				}
+
+				if a.NumCounters() > 0 {
+					continue
+				}
+				got, err := dfaLines(bench.Name, a, segs, v.j, v.segs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != seqDFA {
+					t.Errorf("dfa output differs:\n -j 1: %q\n -j %d -segments %d: %q",
+						seqDFA, v.j, v.segs, got)
+				}
 			}
 		})
 	}
@@ -71,11 +99,35 @@ func nfaLine(name string, a *automata.Automaton, dyn stats.Dynamic) string {
 		name, a.NumStates(), dyn.Symbols, dyn.Reports, dyn.ReportRate, dyn.ActiveSet)
 }
 
-// dfaLines formats cmdRun's dfa-engine output lines, reproducing both
-// its -j 1 path (one whole-automaton engine) and its -j N path
+// dfaScan mirrors cmdRun's dfaScanStream: one RunChecked when the stream
+// is unsegmented, otherwise a chunked scan with a capture/restore handoff
+// at every segment boundary (per-stream stats restart per chunk; cache
+// counters persist across the handoff).
+func dfaScan(e *dfa.Engine, seg []byte, k int) (symbols, reports int64, err error) {
+	if k <= 1 {
+		st, err := e.RunChecked(seg)
+		return st.Symbols, st.Reports, err
+	}
+	bounds := segment.Bounds(int64(len(seg)), k)
+	for ci := 0; ci < k; ci++ {
+		if err := e.RestoreState(e.CaptureState()); err != nil {
+			return symbols, reports, err
+		}
+		st, rerr := e.RunChecked(seg[bounds[ci]:bounds[ci+1]])
+		symbols += st.Symbols
+		reports += st.Reports
+		if rerr != nil {
+			return symbols, reports, rerr
+		}
+	}
+	return symbols, reports, nil
+}
+
+// dfaLines formats cmdRun's dfa-engine output lines, reproducing its
+// -j 1 path (one whole-automaton engine), its -j N path
 // (component-partitioned slice engines on the worker pool, statistics
-// summed).
-func dfaLines(name string, a *automata.Automaton, segs [][]byte, workers int) (string, error) {
+// summed), and the -segments K chunked resume inside either.
+func dfaLines(name string, a *automata.Automaton, segs [][]byte, workers, segments int) (string, error) {
 	var symbols, reports int64
 	var st dfa.Stats
 	if workers == 1 {
@@ -85,9 +137,13 @@ func dfaLines(name string, a *automata.Automaton, segs [][]byte, workers int) (s
 		}
 		for _, seg := range segs {
 			e.Reset()
-			s := e.Run(seg)
-			symbols += s.Symbols
-			reports += s.Reports
+			k := segment.Resolve(int64(len(seg)), segments, 1, 0)
+			sym, rep, err := dfaScan(e, seg, k)
+			if err != nil {
+				return "", err
+			}
+			symbols += sym
+			reports += rep
 		}
 		st = e.Stats()
 	} else {
@@ -105,7 +161,12 @@ func dfaLines(name string, a *automata.Automaton, segs [][]byte, workers int) (s
 			}
 			for _, seg := range segs {
 				e.Reset() // clears per-run Symbols/Reports; cache counters persist
-				sliceReports[i] += e.Run(seg).Reports
+				k := segment.Resolve(int64(len(seg)), segments, workers, 0)
+				_, rep, err := dfaScan(e, seg, k)
+				if err != nil {
+					return err
+				}
+				sliceReports[i] += rep
 			}
 			perSlice[i] = e.Stats()
 			return nil

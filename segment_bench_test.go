@@ -1,0 +1,80 @@
+// Segment-parallel scan throughput on one multi-MB input stream.
+// `make bench-segments` runs these; the seg=1 / seg=N ratio is the
+// segment-parallel speedup. The acceptance bar for the segment layer is
+// >=1.5x at seg=4 on this workload (EXPERIMENTS.md "Scaling on large
+// streams" walks through reading the numbers).
+package automatazoo_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"automatazoo/internal/automata"
+	"automatazoo/internal/charset"
+	"automatazoo/internal/randx"
+	"automatazoo/internal/segment"
+)
+
+// keywordChains builds a keyword-search automaton: n chains of length k,
+// each an all-input-start head followed by k-1 positional states, with a
+// report on the tail. Sparse frontiers (only heads plus in-flight partial
+// matches are active) make this the segment layer's best case: warmup
+// converges in a handful of bytes, so every speculative segment commits.
+func keywordChains(rng *randx.Rand, n, k int) *automata.Automaton {
+	b := automata.NewBuilder()
+	for i := 0; i < n; i++ {
+		prev := automata.StateID(0)
+		for j := 0; j < k; j++ {
+			sym := byte('a' + rng.Intn(26))
+			start := automata.StartNone
+			if j == 0 {
+				start = automata.StartAllInput
+			}
+			id := b.AddSTE(charset.Single(sym), start)
+			if j > 0 {
+				b.AddEdge(prev, id)
+			}
+			prev = id
+		}
+		b.SetReport(prev, int32(i))
+	}
+	return b.MustBuild()
+}
+
+// benchSegCounts is the segment counts benchmarked: off, and the
+// acceptance point at 4.
+var benchSegCounts = []int{1, 4}
+
+// BenchmarkSegmentScan measures segment.Run on one 4 MiB stream through a
+// 48-keyword automaton: the seg=1 row is the sequential master scan, the
+// seg=4 row splits the same stream across four speculative workers and
+// stitches. Both rows go through segment.Run so the harness overhead is
+// identical and the ratio isolates the segmentation win.
+func BenchmarkSegmentScan(b *testing.B) {
+	rng := randx.New(97)
+	a := keywordChains(rng, 48, 8)
+	input := make([]byte, 4<<20)
+	for i := range input {
+		input[i] = byte('a' + rng.Intn(26))
+	}
+	for _, segs := range benchSegCounts {
+		segs := segs
+		b.Run(fmt.Sprintf("seg=%d", segs), func(b *testing.B) {
+			b.SetBytes(int64(len(input)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := segment.Run(context.Background(), a, input, segment.Options{
+					Segments: segs,
+					Workers:  segs,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Stats.Symbols != int64(len(input)) {
+					b.Fatalf("short scan: %d of %d symbols", res.Stats.Symbols, len(input))
+				}
+			}
+		})
+	}
+}
