@@ -25,9 +25,9 @@ BENCHDIFF_CI_INPUT ?= 100000
 BENCHDIFF_CI_THRESHOLD ?= 40%
 BENCHDIFF_CI_SEGMENTS ?= 4
 
-.PHONY: ci build vet fmt-check test race race-parallel allocguard prometheus-golden fuzz-short fault-soak difftest-soak bench bench-engines bench-parallel bench-segments bench-snapshot benchdiff benchdiff-ci clean
+.PHONY: ci build vet fmt-check test race race-parallel allocguard prometheus-golden explain-golden fuzz-short fault-soak difftest-soak bench bench-engines bench-parallel bench-segments bench-snapshot benchdiff benchdiff-ci clean
 
-ci: vet fmt-check build test race-parallel race allocguard prometheus-golden fuzz-short fault-soak benchdiff-ci
+ci: vet fmt-check build test race-parallel race allocguard prometheus-golden explain-golden fuzz-short fault-soak benchdiff-ci
 
 build:
 	$(GO) build ./...
@@ -68,6 +68,14 @@ allocguard:
 # registry renders identically at -j 1 and -j 4).
 prometheus-golden:
 	$(GO) test -run 'TestWritePrometheusGolden|TestPrometheusByteStableAcrossWorkers' -count=1 -v ./internal/telemetry/ ./internal/experiments/
+
+# Byte-stability gate for `azoo explain`: the golden cost plan for one
+# small kernel plus the cross-(workers × segments) determinism matrix and
+# the report-attribution identity, on both engines. Regenerate the golden
+# after intentional attribution changes with:
+#   go test ./cmd/azoo/ -run TestExplainGolden -update
+explain-golden:
+	$(GO) test -run 'TestExplainGolden|TestExplainByteIdenticalAcrossWorkersAndSegments|TestExplainReportIdentity' -count=1 -v ./cmd/azoo/
 
 # Short differential-fuzzing gate: each oracle target gets a fixed
 # FUZZTIME of mutation on top of the always-executed deterministic seed

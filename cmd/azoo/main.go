@@ -7,6 +7,7 @@
 //	azoo list
 //	azoo stats  -bench "Snort" [-scale 0.05] [-input 200000] [-compress]
 //	azoo run    -bench "ClamAV" [-scale 0.05] [-input 200000] [-engine nfa|dfa] [-j N] [-segments K]
+//	azoo explain -bench "Snort" [-engine nfa|dfa] [-top 10] [-json] [-j N] [-segments K]
 //	azoo profile snort [-top 20] [-trace out.ndjson] [-metrics out.json]
 //	azoo table1 [-scale 0.05] [-input 200000] [-compress] [-j N] [-segments K]
 //	azoo table2 [-samples 4000] [-j N] [-segments K]
@@ -54,6 +55,7 @@ import (
 	"runtime"
 	"runtime/debug"
 
+	"automatazoo/internal/attr"
 	"automatazoo/internal/automata"
 	"automatazoo/internal/core"
 	"automatazoo/internal/dfa"
@@ -97,6 +99,8 @@ func run() (code int) {
 		err = cmdStats(args)
 	case "run":
 		err = cmdRun(args)
+	case "explain":
+		err = cmdExplain(args)
 	case "profile":
 		err = cmdProfile(args)
 	case "table1":
@@ -140,6 +144,7 @@ commands:
   list         list the suite's benchmarks
   stats        Table-I statistics for one benchmark
   run          run a benchmark's standard input through an engine
+  explain      per-pattern cost attribution (top-K offenders, text or -json)
   profile      per-state activation heatmap of a benchmark run
   table1       regenerate Table I (suite statistics)
   table2       regenerate Table II (Random Forest variants)
@@ -239,7 +244,18 @@ func cmdRun(args []string) error {
 	}
 	cfg := core.Config{Scale: *scale, InputBytes: *input, Seed: *seed}
 	bsp := sess.spanSet().Start("build")
-	a, segs, err := b.Build(cfg)
+	// With telemetry active the run carries cost attribution: the manifest
+	// gains an attribution section and the registry azoo_attr_* families.
+	// Without it col stays nil and every attribution hook is disabled
+	// (zero-alloc, same discipline as the other hooks).
+	var a *automata.Automaton
+	var segs [][]byte
+	var col *attr.Collector
+	if sess.registry() != nil {
+		a, segs, col, err = b.BuildAttributed(cfg)
+	} else {
+		a, segs, err = b.Build(cfg)
+	}
 	bsp.End()
 	if err != nil {
 		return err
@@ -260,6 +276,7 @@ func cmdRun(args []string) error {
 		h := stats.Hooks{
 			Registry: sess.registry(), Tracer: sess.ndjson(), Governor: sess.governor(),
 			Progress: sess.tracker(b.Name), Recorder: sess.recorder(),
+			Attribution: col,
 		}
 		if *workers == 1 || anySegmented(segs, *segments, *workers) {
 			// ObserveStreams delegates to the exact historical sequential
@@ -276,6 +293,7 @@ func cmdRun(args []string) error {
 			// A governor trip still records the partial work in the manifest.
 			row.Symbols, row.Reports = dyn.Symbols, dyn.Reports
 			addStitchExtra(&row, stitch)
+			sess.recordAttribution(col)
 			sess.setReport("run", *workers, runConfig, []report.KernelRow{row})
 			return sess.closeTruncated(err)
 		}
@@ -290,14 +308,15 @@ func cmdRun(args []string) error {
 		var st dfa.Stats
 		pt := sess.tracker(b.Name)
 		if *workers == 1 {
-			symbols, reports, st, err = runDFAWhole(a, segs, *segments, sess, pt)
+			symbols, reports, st, err = runDFAWhole(a, segs, *segments, sess, pt, col)
 		} else {
-			symbols, reports, st, err = runDFAParallel(a, segs, *workers, *segments, sess, pt)
+			symbols, reports, st, err = runDFAParallel(a, segs, *workers, *segments, sess, pt, col)
 		}
 		pt.Done()
 		ssp.End()
 		if err != nil {
 			row.Symbols, row.Reports = symbols, reports
+			sess.recordAttribution(col)
 			sess.setReport("run", *workers, runConfig, []report.KernelRow{row})
 			return sess.closeTruncated(err)
 		}
@@ -310,6 +329,7 @@ func cmdRun(args []string) error {
 	default:
 		return usageErrorf("unknown engine %q", *engine)
 	}
+	sess.recordAttribution(col)
 	sess.setReport("run", *workers, runConfig, []report.KernelRow{row})
 	return sess.Close()
 }
@@ -332,6 +352,26 @@ func anySegmented(segs [][]byte, requested, workers int) bool {
 		}
 	}
 	return false
+}
+
+// annotateFlag registers -annotate, which appends per-kernel top-offender
+// cost-attribution lines after a table. Default stdout is unchanged.
+func annotateFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("annotate", false, "append per-kernel top-offender cost attribution after the table")
+}
+
+// annotatedObserver returns the session's observer with attribution
+// enabled when -annotate was given (materializing an observer if the
+// session alone would not have one).
+func annotatedObserver(sess *obsSession, annotate bool) *experiments.Observer {
+	obs := sess.observer()
+	if annotate {
+		if obs == nil {
+			obs = &experiments.Observer{}
+		}
+		obs.Attribute = true
+	}
+	return obs
 }
 
 // addStitchExtra records the segment-parallel stitch accounting in a
@@ -383,8 +423,9 @@ func dfaScanStream(e *dfa.Engine, seg []byte, k int) (symbols, reports int64, er
 }
 
 // runDFAWhole scans every segment on one whole-automaton DFA engine (the
-// -j 1 path).
-func runDFAWhole(a *automata.Automaton, segs [][]byte, segments int, sess *obsSession, pt *telemetry.ProgressTracker) (symbols, reports int64, st dfa.Stats, err error) {
+// -j 1 path). col, when non-nil, attaches a cost-attribution ledger
+// committed after the scan.
+func runDFAWhole(a *automata.Automaton, segs [][]byte, segments int, sess *obsSession, pt *telemetry.ProgressTracker, col *attr.Collector) (symbols, reports int64, st dfa.Stats, err error) {
 	e, err := dfa.New(a)
 	if err != nil {
 		return 0, 0, dfa.Stats{}, err
@@ -398,6 +439,11 @@ func runDFAWhole(a *automata.Automaton, segs [][]byte, segments int, sess *obsSe
 	e.SetGovernor(sess.governor())
 	e.SetProgress(pt)
 	e.SetRecorder(sess.recorder())
+	if col != nil {
+		led := col.Ledger(col.GlobalCompOf())
+		e.SetLedger(led)
+		defer led.Commit()
+	}
 	for _, seg := range segs {
 		e.Reset()
 		k := segment.Resolve(int64(len(seg)), segments, 1, 0)
@@ -417,8 +463,10 @@ func runDFAWhole(a *automata.Automaton, segs [][]byte, segments int, sess *obsSe
 // per-component — budgets, byte classes, interned states, and cache
 // counters never cross components — so the summed statistics equal the
 // whole-engine run's exactly and the printed output is byte-identical to
-// -j 1.
-func runDFAParallel(a *automata.Automaton, segs [][]byte, workers, segments int, sess *obsSession, pt *telemetry.ProgressTracker) (symbols, reports int64, agg dfa.Stats, err error) {
+// -j 1. col, when non-nil, attaches one cost-attribution ledger per slice
+// engine (ledger commits are commutative, so the folded totals equal the
+// whole-engine run's).
+func runDFAParallel(a *automata.Automaton, segs [][]byte, workers, segments int, sess *obsSession, pt *telemetry.ProgressTracker, col *attr.Collector) (symbols, reports int64, agg dfa.Stats, err error) {
 	plan := partition.ForWorkers(a, workers)
 	// Per-slice engines re-scan the stream, so the heartbeat total is
 	// passes × stream bytes — same convention as the stats parallel path.
@@ -454,6 +502,11 @@ func runDFAParallel(a *automata.Automaton, segs [][]byte, workers, segments int,
 		e.SetGovernor(sess.governor())
 		e.SetProgress(pt)
 		e.SetRecorder(sess.recorder())
+		if col != nil {
+			led := col.Ledger(plan.SliceCompOf(i))
+			e.SetLedger(led)
+			defer led.Commit()
+		}
 		// Stats are captured even when a governor trip stops the slice
 		// mid-stream, so a truncated manifest still describes partial work.
 		defer func() { perSlice[i] = e.Stats() }()
@@ -510,6 +563,7 @@ func cmdTable1(args []string) error {
 	compress := fs.Bool("compress", false, "also run prefix-merge compression (slow at large scales)")
 	workers := workersFlag(fs)
 	segments := segmentsFlag(fs)
+	annotate := annotateFlag(fs)
 	tf := telemetryFlags(fs)
 	gf := governorFlags(fs)
 	fs.Parse(args)
@@ -523,7 +577,7 @@ func cmdTable1(args []string) error {
 	cfg := core.Config{Scale: *scale, InputBytes: *input, Seed: *seed}
 	t1Config := suiteConfig(*scale, *input, *seed)
 	t1Config["segments"] = fmt.Sprintf("%d", *segments)
-	rows, err := experiments.TableIParallelSegmented(context.Background(), cfg, *compress, *workers, *segments, sess.observer())
+	rows, err := experiments.TableIParallelSegmented(context.Background(), cfg, *compress, *workers, *segments, annotatedObserver(sess, *annotate))
 	if err != nil {
 		sess.setReport("table1", *workers, t1Config, nil)
 		return sess.closeTruncated(err)
@@ -532,6 +586,14 @@ func cmdTable1(args []string) error {
 	fmt.Println(stats.Header())
 	for _, r := range rows {
 		fmt.Println(r.Format())
+	}
+	if *annotate {
+		fmt.Println("\ntop offenders (cost attribution):")
+		for _, r := range rows {
+			if r.TopOffender != "" {
+				fmt.Printf("  %-22s %s\n", r.Name, r.TopOffender)
+			}
+		}
 	}
 	krows := make([]report.KernelRow, len(rows))
 	for i, r := range rows {
@@ -554,6 +616,7 @@ func cmdTable2(args []string) error {
 	seed := fs.Uint64("seed", 7, "seed")
 	workers := workersFlag(fs)
 	segments := segmentsFlag(fs)
+	annotate := annotateFlag(fs)
 	tf := telemetryFlags(fs)
 	gf := governorFlags(fs)
 	fs.Parse(args)
@@ -568,7 +631,7 @@ func cmdTable2(args []string) error {
 		"samples": fmt.Sprintf("%d", *samples), "seed": fmt.Sprintf("%#x", *seed),
 		"segments": fmt.Sprintf("%d", *segments),
 	}
-	rows, err := experiments.TableIIParallel(context.Background(), *samples, *seed, *workers, sess.observer())
+	rows, err := experiments.TableIIParallel(context.Background(), *samples, *seed, *workers, annotatedObserver(sess, *annotate))
 	if err != nil {
 		sess.setReport("table2", *workers, t2Config, nil)
 		return sess.closeTruncated(err)
@@ -589,6 +652,14 @@ func cmdTable2(args []string) error {
 			},
 		}
 	}
+	if *annotate {
+		fmt.Println("\ntop offenders (cost attribution):")
+		for _, r := range rows {
+			if r.TopOffender != "" {
+				fmt.Printf("  %-22s %s\n", "rf."+r.Variant, r.TopOffender)
+			}
+		}
+	}
 	sess.setReport("table2", *workers, t2Config, krows)
 	return sess.Close()
 }
@@ -600,6 +671,7 @@ func cmdTable3(args []string) error {
 	seed := fs.Uint64("seed", 3, "seed")
 	workers := workersFlag(fs)
 	segments := segmentsFlag(fs)
+	annotate := annotateFlag(fs)
 	tf := telemetryFlags(fs)
 	gf := governorFlags(fs)
 	fs.Parse(args)
@@ -614,7 +686,7 @@ func cmdTable3(args []string) error {
 		"filters": fmt.Sprintf("%d", *filters), "itemsets": fmt.Sprintf("%d", *itemsets),
 		"seed": fmt.Sprintf("%#x", *seed), "segments": fmt.Sprintf("%d", *segments),
 	}
-	rows, err := experiments.TableIIIParallel(context.Background(), *filters, *itemsets, *seed, *workers, sess.observer())
+	rows, err := experiments.TableIIIParallel(context.Background(), *filters, *itemsets, *seed, *workers, annotatedObserver(sess, *annotate))
 	if err != nil {
 		sess.setReport("table3", *workers, t3Config, nil)
 		return sess.closeTruncated(err)
@@ -645,6 +717,14 @@ func cmdTable3(args []string) error {
 			krows[i].Extra["fallbacks"] = float64(r.Fallbacks)
 		}
 	}
+	if *annotate {
+		fmt.Println("\ntop offenders (cost attribution):")
+		for _, r := range rows {
+			if r.TopOffender != "" {
+				fmt.Printf("  %-28s %s\n", r.Engine, r.TopOffender)
+			}
+		}
+	}
 	sess.setReport("table3", *workers, t3Config, krows)
 	return sess.Close()
 }
@@ -655,6 +735,7 @@ func cmdTable4(args []string) error {
 	seed := fs.Uint64("seed", 5, "seed")
 	workers := workersFlag(fs)
 	segments := segmentsFlag(fs)
+	annotate := annotateFlag(fs)
 	tf := telemetryFlags(fs)
 	gf := governorFlags(fs)
 	fs.Parse(args)
@@ -669,7 +750,7 @@ func cmdTable4(args []string) error {
 		"samples": fmt.Sprintf("%d", *samples), "seed": fmt.Sprintf("%#x", *seed),
 		"segments": fmt.Sprintf("%d", *segments),
 	}
-	rows, err := experiments.TableIVParallel(context.Background(), *samples, *seed, *workers, sess.observer())
+	rows, err := experiments.TableIVParallel(context.Background(), *samples, *seed, *workers, annotatedObserver(sess, *annotate))
 	if err != nil {
 		sess.setReport("table4", *workers, t4Config, nil)
 		return sess.closeTruncated(err)
@@ -693,6 +774,14 @@ func cmdTable4(args []string) error {
 		}
 		if r.Fallbacks > 0 {
 			krows[i].Extra["fallbacks"] = float64(r.Fallbacks)
+		}
+	}
+	if *annotate {
+		fmt.Println("\ntop offenders (cost attribution):")
+		for _, r := range rows {
+			if r.TopOffender != "" {
+				fmt.Printf("  %-34s %s\n", r.Engine, r.TopOffender)
+			}
 		}
 	}
 	sess.setReport("table4", *workers, t4Config, krows)

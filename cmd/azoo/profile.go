@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"automatazoo/internal/automata"
 	"automatazoo/internal/core"
 	"automatazoo/internal/sim"
 	"automatazoo/internal/stats"
@@ -79,7 +80,9 @@ func cmdProfile(args []string) error {
 	}
 
 	cfg := core.Config{Scale: *scale, InputBytes: *input, Seed: *seed}
-	a, segs, err := b.Build(cfg)
+	// The attributed build carries the provenance map that turns the
+	// heatmap's bare state indices into pattern names.
+	a, segs, col, err := b.BuildAttributed(cfg)
 	if err != nil {
 		return err
 	}
@@ -111,7 +114,12 @@ func cmdProfile(args []string) error {
 		nanosStr(lat.Quantile(0.99)), nanosStr(float64(lat.Max())), lat.Count())
 
 	fmt.Printf("Top %d states by activations:\n", *topK)
-	if err := telemetry.WriteHeatmap(os.Stdout, prof.TopK(*topK, comp), dyn.Symbols); err != nil {
+	entries := prof.TopK(*topK, comp)
+	prov := col.Provenance()
+	for i := range entries {
+		entries[i].Pattern = prov.Label(automata.StateID(entries[i].State))
+	}
+	if err := telemetry.WriteHeatmap(os.Stdout, entries, dyn.Symbols); err != nil {
 		return err
 	}
 	if *topSub > 0 {

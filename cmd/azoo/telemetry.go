@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"automatazoo/internal/attr"
 	"automatazoo/internal/experiments"
 	"automatazoo/internal/guard"
 	"automatazoo/internal/parallel"
@@ -74,10 +75,11 @@ type obsSession struct {
 	crashRec   bool // parallel.SetCrashRecorder installed; uninstall on Close
 
 	// Manifest contents accumulated by the command via setReport.
-	command string
-	workers int
-	suite   map[string]string
-	rows    []report.KernelRow
+	command  string
+	workers  int
+	suite    map[string]string
+	rows     []report.KernelRow
+	attrRows []attr.Cost
 
 	// Truncation verdict (setTruncated): the manifest is still written,
 	// flagged, with whatever rows/spans/metrics the run produced.
@@ -301,6 +303,22 @@ func (s *obsSession) setReport(command string, workers int, suite map[string]str
 	s.command, s.workers, s.suite, s.rows = command, workers, suite, rows
 }
 
+// attrTopK bounds the attribution rows recorded in the manifest and the
+// azoo_attr_* Prometheus family cardinality.
+const attrTopK = 10
+
+// recordAttribution folds the collector's committed totals, stores the
+// top-K rows for the manifest's attribution section, and publishes them
+// into the registry as attr.* metrics (azoo_attr_* on /metrics). A nil
+// collector (attribution disabled) is a no-op.
+func (s *obsSession) recordAttribution(col *attr.Collector) {
+	if s == nil || col == nil {
+		return
+	}
+	s.attrRows = attr.Top(col.Fold(), attrTopK)
+	col.Publish(s.reg, attrTopK)
+}
+
 // setTruncated flags the manifest as governor-truncated. A truncated run
 // still writes a valid manifest — partial rows, phase spans, and metrics
 // included — so the artifact records how far the run got and why it
@@ -412,6 +430,7 @@ func (s *obsSession) Close() error {
 			Spans:         s.spans.Snapshot(),
 			Truncated:     s.truncated,
 			TrippedBudget: s.trippedBudget,
+			Attribution:   s.attrRows,
 		}
 		if s.pmWritten.Load() {
 			m.Postmortem = s.pmPath

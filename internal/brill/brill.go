@@ -91,9 +91,17 @@ func Generate(n int, seed uint64) []Rule {
 
 // Compile builds the benchmark automaton; rule i reports with code i.
 func Compile(rules []Rule) (*automata.Automaton, int, error) {
+	return CompileTagged(rules, nil)
+}
+
+// CompileTagged is Compile additionally reporting each successfully
+// compiled rule's builder state range to tag (when non-nil), so a cost-
+// attribution provenance map (internal/attr) can name states by rule.
+func CompileTagged(rules []Rule, tag func(name string, lo, hi int)) (*automata.Automaton, int, error) {
 	b := automata.NewBuilder()
 	skipped := 0
 	for _, r := range rules {
+		lo := b.NumStates()
 		parsed, err := regex.Parse(r.Pattern(), 0)
 		if err != nil {
 			skipped++
@@ -102,6 +110,9 @@ func Compile(rules []Rule) (*automata.Automaton, int, error) {
 		if _, err := regex.CompileInto(b, parsed, int32(r.ID)); err != nil {
 			skipped++
 			continue
+		}
+		if tag != nil {
+			tag(fmt.Sprintf("rule-%d", r.ID), lo, b.NumStates())
 		}
 	}
 	a, err := b.Build()

@@ -172,6 +172,13 @@ var regexPatterns = map[int]struct {
 // Build assembles the full nine-pattern benchmark automaton; pattern i
 // reports with code i.
 func Build() (*automata.Automaton, error) {
+	return BuildTagged(nil)
+}
+
+// BuildTagged is Build additionally reporting each pattern's builder
+// state range to tag (when non-nil), so a cost-attribution provenance map
+// (internal/attr) can name states by the Names entries.
+func BuildTagged(tag func(name string, lo, hi int)) (*automata.Automaton, error) {
 	b := automata.NewBuilder()
 	zip, err := buildZipHeader()
 	if err != nil {
@@ -181,7 +188,11 @@ func Build() (*automata.Automaton, error) {
 	if err != nil {
 		return nil, fmt.Errorf("carving: stride zip: %w", err)
 	}
+	lo := b.NumStates()
 	b.Merge(zipByte, 0)
+	if tag != nil {
+		tag(Names[ZipHeader], lo, b.NumStates())
+	}
 	mpeg, err := buildMpeg2Seq()
 	if err != nil {
 		return nil, err
@@ -190,7 +201,11 @@ func Build() (*automata.Automaton, error) {
 	if err != nil {
 		return nil, fmt.Errorf("carving: stride mpeg2: %w", err)
 	}
+	lo = b.NumStates()
 	b.Merge(mpegByte, 0)
+	if tag != nil {
+		tag(Names[Mpeg2Seq], lo, b.NumStates())
+	}
 	// Iterate in code order: map range order would vary state numbering
 	// (and thus component order) run to run.
 	for code := 0; code < NumPatterns; code++ {
@@ -202,8 +217,12 @@ func Build() (*automata.Automaton, error) {
 		if err != nil {
 			return nil, fmt.Errorf("carving: %s: %w", Names[code], err)
 		}
+		lo = b.NumStates()
 		if _, err := regex.CompileInto(b, parsed, int32(code)); err != nil {
 			return nil, fmt.Errorf("carving: %s: %w", Names[code], err)
+		}
+		if tag != nil {
+			tag(Names[code], lo, b.NumStates())
 		}
 	}
 	return b.Build()

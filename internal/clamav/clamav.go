@@ -186,9 +186,18 @@ func Generate(n int, seed uint64) []Signature {
 // Compile builds the benchmark automaton; signature i reports with code i.
 // Signatures the compiler rejects are skipped and counted.
 func Compile(sigs []Signature) (*automata.Automaton, int, error) {
+	return CompileTagged(sigs, nil)
+}
+
+// CompileTagged is Compile additionally reporting each successfully
+// compiled signature's builder state range to tag (when non-nil), so a
+// cost-attribution provenance map (internal/attr) can name states by
+// signature.
+func CompileTagged(sigs []Signature, tag func(name string, lo, hi int)) (*automata.Automaton, int, error) {
 	b := automata.NewBuilder()
 	skipped := 0
 	for i, s := range sigs {
+		lo := b.NumStates()
 		pat, err := ToRegex(s.Hex)
 		if err != nil {
 			skipped++
@@ -202,6 +211,9 @@ func Compile(sigs []Signature) (*automata.Automaton, int, error) {
 		if _, err := regex.CompileInto(b, parsed, int32(i)); err != nil {
 			skipped++
 			continue
+		}
+		if tag != nil {
+			tag(s.Name, lo, b.NumStates())
 		}
 	}
 	a, err := b.Build()

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"automatazoo/internal/attr"
+	"automatazoo/internal/automata"
+)
+
+// BuildAttributed generates the benchmark together with a cost-attribution
+// collector (internal/attr). Generators with loader-level tagging record a
+// per-pattern provenance map while compiling; the rest fall back to one
+// pattern per weakly-connected component (attr.FromComponents), which is
+// still a stable, deterministic naming.
+func (b Benchmark) BuildAttributed(cfg Config) (*automata.Automaton, [][]byte, *attr.Collector, error) {
+	if b.BuildTagged != nil {
+		var rg attr.Ranges
+		a, segs, err := b.BuildTagged(cfg, rg.Tag)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return a, segs, attr.NewCollector(a, rg.Provenance(a.NumStates())), nil
+	}
+	a, segs, err := b.Build(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return a, segs, attr.NewCollector(a, attr.FromComponents(a, "comp")), nil
+}

@@ -54,6 +54,23 @@ type Benchmark struct {
 	// Segmented inputs (Random Forest classifications) are returned as
 	// multiple segments, each a fresh stream.
 	Build func(cfg Config) (*automata.Automaton, [][]byte, error)
+
+	// BuildTagged, when non-nil, is Build additionally reporting every
+	// pattern's builder state range to tag, feeding a cost-attribution
+	// provenance map (internal/attr). Benchmarks whose loaders have no
+	// per-pattern structure (mesh, PRNG, ...) leave it nil; callers fall
+	// back to attr.FromComponents on the built automaton.
+	BuildTagged func(cfg Config, tag func(name string, lo, hi int)) (*automata.Automaton, [][]byte, error)
+}
+
+// taggedBenchmark builds a suite entry whose generator supports pattern
+// tagging: Build is the same generator with a nil tag.
+func taggedBenchmark(name, domain, input string, build func(Config, func(string, int, int)) (*automata.Automaton, [][]byte, error)) Benchmark {
+	return Benchmark{
+		Name: name, Domain: domain, Input: input,
+		Build:       func(cfg Config) (*automata.Automaton, [][]byte, error) { return build(cfg, nil) },
+		BuildTagged: build,
+	}
 }
 
 func scaled(n int, scale float64) int {
@@ -69,27 +86,24 @@ func scaled(n int, scale float64) int {
 // registry reproduces the table).
 func All() []Benchmark {
 	return []Benchmark{
-		{
-			Name: "Snort", Domain: "Network Intrusion Detection", Input: "PCAP file",
-			Build: func(cfg Config) (*automata.Automaton, [][]byte, error) {
+		taggedBenchmark("Snort", "Network Intrusion Detection", "PCAP file",
+			func(cfg Config, tag func(string, int, int)) (*automata.Automaton, [][]byte, error) {
 				gen := snort.DefaultGenConfig()
 				gen.CleanRules = scaled(gen.CleanRules, cfg.Scale)
 				gen.ModifierRules = scaled(gen.ModifierRules, cfg.Scale)
 				gen.IsdataatRules = scaled(gen.IsdataatRules, cfg.Scale)
 				rules := snort.Generate(gen, cfg.Seed)
 				benchRules := snort.Select(rules, snort.Filtered)
-				a, _, err := snort.Compile(benchRules)
+				a, _, err := snort.CompileTagged(benchRules, tag)
 				if err != nil {
 					return nil, nil, err
 				}
 				return a, [][]byte{snort.Traffic(cfg.InputBytes, rules, cfg.Seed)}, nil
-			},
-		},
-		{
-			Name: "ClamAV", Domain: "Virus Detection", Input: "Disk image",
-			Build: func(cfg Config) (*automata.Automaton, [][]byte, error) {
+			}),
+		taggedBenchmark("ClamAV", "Virus Detection", "Disk image",
+			func(cfg Config, tag func(string, int, int)) (*automata.Automaton, [][]byte, error) {
 				sigs := clamav.Generate(scaled(33171, cfg.Scale), cfg.Seed)
-				a, _, err := clamav.Compile(sigs)
+				a, _, err := clamav.CompileTagged(sigs, tag)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -99,14 +113,12 @@ func All() []Benchmark {
 					return nil, nil, err
 				}
 				return a, [][]byte{img}, nil
-			},
-		},
-		{
-			Name: "Protomata", Domain: "Motif Search", Input: "Uniprot Database",
-			Build: func(cfg Config) (*automata.Automaton, [][]byte, error) {
+			}),
+		taggedBenchmark("Protomata", "Motif Search", "Uniprot Database",
+			func(cfg Config, tag func(string, int, int)) (*automata.Automaton, [][]byte, error) {
 				// Canonical workload: always the full 1,309 patterns.
 				pats := protomata.Generate(protomata.PaperPatternCount, cfg.Seed)
-				a, _, err := protomata.Compile(pats)
+				a, _, err := protomata.CompileTagged(pats, tag)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -115,20 +127,17 @@ func All() []Benchmark {
 					return nil, nil, err
 				}
 				return a, [][]byte{db}, nil
-			},
-		},
-		{
-			Name: "Brill", Domain: "Part of Speech Tagging", Input: "Brown Corpus",
-			Build: func(cfg Config) (*automata.Automaton, [][]byte, error) {
+			}),
+		taggedBenchmark("Brill", "Part of Speech Tagging", "Brown Corpus",
+			func(cfg Config, tag func(string, int, int)) (*automata.Automaton, [][]byte, error) {
 				rules := brill.Generate(scaled(5000, cfg.Scale), cfg.Seed)
-				a, _, err := brill.Compile(rules)
+				a, _, err := brill.CompileTagged(rules, tag)
 				if err != nil {
 					return nil, nil, err
 				}
 				toks := brill.Corpus(cfg.InputBytes/8, rules, 97, cfg.Seed)
 				return a, [][]byte{brill.Encode(toks)}, nil
-			},
-		},
+			}),
 		rfBenchmark("Random Forest A", rf.VariantA),
 		rfBenchmark("Random Forest B", rf.VariantB),
 		rfBenchmark("Random Forest C", rf.VariantC),
@@ -155,11 +164,10 @@ func All() []Benchmark {
 		},
 		crisprBenchmark("CRISPR CasOffinder", crispr.CasOFFinder),
 		crisprBenchmark("CRISPR CasOT", crispr.CasOT),
-		{
-			Name: "YARA", Domain: "Malware pattern search", Input: "Malware files",
-			Build: func(cfg Config) (*automata.Automaton, [][]byte, error) {
+		taggedBenchmark("YARA", "Malware pattern search", "Malware files",
+			func(cfg Config, tag func(string, int, int)) (*automata.Automaton, [][]byte, error) {
 				rules := yara.Generate(yara.GenConfig{Rules: scaled(23530, cfg.Scale)}, cfg.Seed)
-				a, _, err := yara.Compile(rules)
+				a, _, err := yara.CompileTagged(rules, tag)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -168,13 +176,11 @@ func All() []Benchmark {
 					return nil, nil, err
 				}
 				return a, [][]byte{corpus}, nil
-			},
-		},
-		{
-			Name: "YARA Wide", Domain: "Malware pattern search", Input: "Malware files",
-			Build: func(cfg Config) (*automata.Automaton, [][]byte, error) {
+			}),
+		taggedBenchmark("YARA Wide", "Malware pattern search", "Malware files",
+			func(cfg Config, tag func(string, int, int)) (*automata.Automaton, [][]byte, error) {
 				rules := yara.Generate(yara.GenConfig{Rules: scaled(2620, cfg.Scale), WideFrac: 1}, cfg.Seed+1)
-				a, _, err := yara.Compile(rules)
+				a, _, err := yara.CompileTagged(rules, tag)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -183,19 +189,16 @@ func All() []Benchmark {
 					return nil, nil, err
 				}
 				return a, [][]byte{corpus}, nil
-			},
-		},
-		{
-			Name: "File Carving", Domain: "File metadata search", Input: "Multi-media files",
-			Build: func(cfg Config) (*automata.Automaton, [][]byte, error) {
+			}),
+		taggedBenchmark("File Carving", "File metadata search", "Multi-media files",
+			func(cfg Config, tag func(string, int, int)) (*automata.Automaton, [][]byte, error) {
 				// Canonical workload: the fixed nine-pattern set.
-				a, err := carving.Build()
+				a, err := carving.BuildTagged(tag)
 				if err != nil {
 					return nil, nil, err
 				}
 				return a, [][]byte{carving.Input(cfg.InputBytes, cfg.Seed)}, nil
-			},
-		},
+			}),
 		prngBenchmark("AP PRNG 4-sided", 4),
 		prngBenchmark("AP PRNG 8-sided", 8),
 	}
@@ -275,9 +278,8 @@ func spmBenchmark(name string, sc spm.Config) Benchmark {
 }
 
 func crisprBenchmark(name string, style crispr.Style) Benchmark {
-	return Benchmark{
-		Name: name, Domain: "DNA pattern search", Input: "DNA",
-		Build: func(cfg Config) (*automata.Automaton, [][]byte, error) {
+	return taggedBenchmark(name, "DNA pattern search", "DNA",
+		func(cfg Config, tag func(string, int, int)) (*automata.Automaton, [][]byte, error) {
 			n := scaled(2000, cfg.Scale)
 			rng := randx.New(cfg.Seed)
 			guides := make([]crispr.Guide, n)
@@ -286,8 +288,12 @@ func crisprBenchmark(name string, style crispr.Style) Benchmark {
 			}
 			b := automata.NewBuilder()
 			for i, g := range guides {
+				lo := b.NumStates()
 				if err := crispr.BuildFilter(b, g, style, int32(i)); err != nil {
 					return nil, nil, err
+				}
+				if tag != nil {
+					tag(fmt.Sprintf("guide-%d", i), lo, b.NumStates())
 				}
 			}
 			a, err := b.Build()
@@ -299,8 +305,7 @@ func crisprBenchmark(name string, style crispr.Style) Benchmark {
 				nPlant = 32
 			}
 			return a, [][]byte{crispr.Input(guides[:nPlant], cfg.InputBytes, cfg.Seed)}, nil
-		},
-	}
+		})
 }
 
 func prngBenchmark(name string, k int) Benchmark {

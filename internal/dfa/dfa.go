@@ -20,6 +20,7 @@ import (
 	"sort"
 	"time"
 
+	"automatazoo/internal/attr"
 	"automatazoo/internal/automata"
 	"automatazoo/internal/charset"
 	"automatazoo/internal/guard"
@@ -193,6 +194,16 @@ type Engine struct {
 	rec           *telemetry.FlightRecorder
 	progCache     int64 // cacheBytes already published to prog
 	progFallbacks int64 // stats.Fallbacks already published to prog
+
+	// led, when attached, attributes runtime cost to source patterns:
+	// per-component scanned bytes (only while the component is live —
+	// dead elision stops the meter), construction/fallback frontier work,
+	// reports by code, cache-byte levels, evictions, and degradations.
+	// Nil-guarded everywhere like the live-ops hooks; the disabled path
+	// stays allocation-free (allocguard test). ledSlot caches each
+	// component's global attribution slot.
+	led     *attr.Ledger
+	ledSlot []int32
 }
 
 // Options tune the engine's internal strategies; the zero value is the
@@ -281,6 +292,7 @@ func (e *Engine) degrade(c *component, ci int, seed []automata.StateID) {
 		e.tracer.OnCacheEvent(e.offset, ci, telemetry.CacheEviction)
 	}
 	e.recordDegrade(ci, int64(len(c.dstates)))
+	e.ledgerDegrade(ci, int64(len(c.dstates)))
 	c.frontier = append(c.frontier[:0], seed...)
 	if c.mark == nil {
 		c.mark = map[automata.StateID]bool{}
@@ -513,6 +525,44 @@ func (e *Engine) SetProgress(t *telemetry.ProgressTracker) {
 // for postmortem dumps.
 func (e *Engine) SetRecorder(r *telemetry.FlightRecorder) { e.rec = r }
 
+// SetLedger attaches a cost-attribution ledger (nil detaches). The
+// ledger's compOf map must cover this engine's (possibly slice-local)
+// state IDs; each component's global attribution slot is resolved once
+// here so the per-byte hooks are pure array increments. The engine never
+// commits the ledger; callers fold it after the scan unit completes.
+func (e *Engine) SetLedger(l *attr.Ledger) {
+	e.led = l
+	if l == nil {
+		e.ledSlot = nil
+		return
+	}
+	e.ledSlot = make([]int32, len(e.comps))
+	for i, c := range e.comps {
+		if len(c.states) > 0 {
+			e.ledSlot[i] = l.Slot(c.states[0])
+		}
+	}
+}
+
+// flushLedger records each component's current cache-byte level (a
+// gauge-like quantity sampled at run boundaries; the flow counters are
+// charged at their events).
+func (e *Engine) flushLedger() {
+	for i, c := range e.comps {
+		e.led.SetCacheBytes(e.ledSlot[i], c.bytes)
+	}
+}
+
+// ledgerDegrade charges one component degradation — evicted dstates and
+// the DFA→NFA fallback — to the component's attribution slot.
+func (e *Engine) ledgerDegrade(ci int, evicted int64) {
+	if e.led == nil {
+		return
+	}
+	e.led.AddEvictions(e.ledSlot[ci], evicted)
+	e.led.AddFallback(e.ledSlot[ci])
+}
+
 // recordDegrade logs a component degradation (eviction + fallback) to the
 // attached flight recorder, if any.
 func (e *Engine) recordDegrade(ci int, evicted int64) {
@@ -561,6 +611,9 @@ func (e *Engine) Reset() {
 	if e.reg != nil {
 		e.flushStats()
 	}
+	if e.led != nil {
+		e.flushLedger()
+	}
 	e.live = e.live[:0]
 	for i, c := range e.comps {
 		e.cur[i] = 1
@@ -595,6 +648,9 @@ func (e *Engine) Reports() []Report { return e.reports }
 
 func (e *Engine) emit(code int32) {
 	e.stats.Reports++
+	if e.led != nil {
+		e.led.Report(code)
+	}
 	r := Report{Offset: e.offset, Code: code}
 	if e.tracer != nil {
 		// DFA reports carry no NFA state ID (the report state was folded
@@ -618,6 +674,9 @@ func (e *Engine) Run(input []byte) Stats {
 	}
 	if e.reg != nil {
 		e.flushStats()
+	}
+	if e.led != nil {
+		e.flushLedger()
 	}
 	sp.End()
 	return e.Stats()
@@ -679,6 +738,9 @@ func (e *Engine) RunChecked(input []byte) (Stats, error) {
 	if e.reg != nil {
 		e.flushStats()
 	}
+	if e.led != nil {
+		e.flushLedger()
+	}
 	sp.End()
 	return e.Stats(), err
 }
@@ -688,8 +750,14 @@ func (e *Engine) stepByte(b byte) {
 	for i := 0; i < len(e.live); {
 		ci := e.live[i]
 		c := e.comps[ci]
+		if e.led != nil {
+			// One byte of scanning charged to every still-live component:
+			// dead-component elision stops the meter, so per-component byte
+			// totals equal the whole-stream scan regardless of slicing.
+			e.led.AddBytes(e.ledSlot[ci], 1)
+		}
 		if c.overflow {
-			e.nfaStep(c, b)
+			e.nfaStep(c, ci, b)
 			i++
 			continue
 		}
@@ -698,6 +766,11 @@ func (e *Engine) stepByte(b byte) {
 		if c.dstates[di].trans[cls] == transUnset {
 			e.stats.CacheMisses++
 			c.winMisses++
+			if e.led != nil {
+				// Frontier work for a cached DFA is the construction events,
+				// not the per-byte transitions: a warm cache does ~zero work.
+				e.led.AddWork(e.ledSlot[ci], 1)
+			}
 			start := time.Now()
 			e.computeTransition(c, di, cls)
 			e.stats.ConstructNanos += time.Since(start).Nanoseconds()
@@ -714,6 +787,7 @@ func (e *Engine) stepByte(b byte) {
 					e.tracer.OnCacheEvent(e.offset, int(ci), telemetry.CacheEviction)
 				}
 				e.recordDegrade(int(ci), int64(len(c.dstates)))
+				e.ledgerDegrade(int(ci), int64(len(c.dstates)))
 				// Seed the fallback frontier from the current dstate and
 				// process this byte via the NFA path.
 				c.frontier = append(c.frontier[:0], c.dstates[di].frontier...)
@@ -730,7 +804,7 @@ func (e *Engine) stepByte(b byte) {
 					c.index = nil
 					c.freeBytes = false
 				}
-				e.nfaStep(c, b)
+				e.nfaStep(c, ci, b)
 				i++
 				continue
 			}
@@ -744,7 +818,7 @@ func (e *Engine) stepByte(b byte) {
 				// is costing more than interpreting — degrade the component
 				// and process this byte via the NFA path.
 				e.degrade(c, int(ci), c.dstates[di].frontier)
-				e.nfaStep(c, b)
+				e.nfaStep(c, ci, b)
 				i++
 				continue
 			}
@@ -768,8 +842,13 @@ func (e *Engine) stepByte(b byte) {
 }
 
 // nfaStep advances an overflowed component by direct frontier stepping.
-func (e *Engine) nfaStep(c *component, b byte) {
+func (e *Engine) nfaStep(c *component, ci int32, b byte) {
 	e.stats.FallbackBytes++
+	if e.led != nil {
+		// Fallback interpretation is real frontier work, charged like sim's
+		// activation count: one unit per frontier state plus the step itself.
+		e.led.AddWork(e.ledSlot[ci], int64(len(c.frontier))+1)
+	}
 	c.next = c.next[:0]
 	clear(c.mark)
 	consider := func(s automata.StateID) {
@@ -872,6 +951,7 @@ func (e *Engine) RestoreState(s *StreamState) error {
 				e.stats.Fallbacks++
 				e.stats.CacheEvictions += int64(len(c.dstates))
 				e.recordDegrade(i, int64(len(c.dstates)))
+				e.ledgerDegrade(i, int64(len(c.dstates)))
 				c.frontier = append(c.frontier[:0], f...)
 				if c.mark == nil {
 					c.mark = map[automata.StateID]bool{}

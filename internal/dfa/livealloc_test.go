@@ -3,9 +3,9 @@ package dfa
 import "testing"
 
 // TestDisabledLiveTelemetryZeroAllocs: with no governor, progress
-// tracker, or flight recorder attached, the DFA engine's RunChecked must
-// reduce to the exact Run fast path and stay allocation-free once the
-// transition cache is warm.
+// tracker, flight recorder, or attribution ledger attached, the DFA
+// engine's RunChecked must reduce to the exact Run fast path and stay
+// allocation-free once the transition cache is warm.
 func TestDisabledLiveTelemetryZeroAllocs(t *testing.T) {
 	a := compile(t, "abc", "bca")
 	e, err := New(a)
@@ -15,6 +15,7 @@ func TestDisabledLiveTelemetryZeroAllocs(t *testing.T) {
 	e.SetGovernor(nil)
 	e.SetProgress(nil)
 	e.SetRecorder(nil)
+	e.SetLedger(nil)
 	input := []byte("xxabcxxabcabcxaxbxcabxcabcbcabca")
 	e.Reset()
 	if _, err := e.RunChecked(input); err != nil {

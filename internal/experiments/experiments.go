@@ -40,7 +40,15 @@ type Observer struct {
 	Governor *guard.Governor
 	Progress *telemetry.Progress
 	Recorder *telemetry.FlightRecorder
+	// Attribute enables per-kernel cost attribution (internal/attr): each
+	// table row's TopOffender names the source pattern responsible for the
+	// most runtime cost. Off by default — attribution never perturbs the
+	// tables' timed loops (annotation scans run outside them) and the
+	// default rendered output is unchanged.
+	Attribute bool
 }
+
+func (o *Observer) attribute() bool { return o != nil && o.Attribute }
 
 func (o *Observer) registry() *telemetry.Registry {
 	if o == nil {
@@ -108,6 +116,9 @@ type TableIIRow struct {
 	Accuracy   float64
 	SymbolsPer int     // input symbols per classification
 	RuntimeRel float64 // symbols relative to variant B (the paper's 1.35x)
+	// TopOffender names the costliest attributed pattern of the variant's
+	// automaton (set only under Observer.Attribute).
+	TopOffender string
 }
 
 // TableII trains the three benchmark variants on the synthetic digit
@@ -141,6 +152,9 @@ type TableIIIRow struct {
 	// during the measurement (cache budget or thrash); non-zero rows are
 	// annotated "[degraded]" in the rendered table.
 	Fallbacks int
+	// TopOffender names the costliest attributed pattern under this engine
+	// (set only under Observer.Attribute, from an untimed annotation scan).
+	TopOffender string
 }
 
 // TableIII measures the Section-VII experiment: the same Sequence Matching
@@ -180,6 +194,9 @@ type TableIVRow struct {
 	// Fallbacks counts components that degraded from DFA to NFA stepping
 	// during the measurement; non-zero rows are annotated "[degraded]".
 	Fallbacks int
+	// TopOffender names the costliest attributed pattern (set on the
+	// automata rows only, under Observer.Attribute).
+	TopOffender string
 }
 
 // TableIV measures Random Forest classification throughput: automata

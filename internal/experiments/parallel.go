@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"automatazoo/internal/attr"
 	"automatazoo/internal/automata"
 	"automatazoo/internal/core"
 	"automatazoo/internal/dfa"
@@ -92,6 +93,42 @@ func adoptSpans(obs *Observer, forks []*telemetry.Spans) {
 	}
 }
 
+// annotateNFA scans inputs through a fresh NFA engine under a
+// component-fallback attribution collector and returns the top offender's
+// name — the untimed annotation pass behind Observer.Attribute, run
+// outside every timed loop so it never perturbs a measurement.
+func annotateNFA(a *automata.Automaton, prefix string, inputs [][]byte) string {
+	col := attr.NewCollector(a, attr.FromComponents(a, prefix))
+	e := sim.New(a)
+	led := col.Ledger(col.GlobalCompOf())
+	e.SetLedger(led)
+	for _, in := range inputs {
+		e.Reset()
+		e.Run(in)
+	}
+	led.Commit()
+	return attr.TopOffender(col.Fold())
+}
+
+// annotateDFA is annotateNFA on the lazy-DFA engine.
+func annotateDFA(a *automata.Automaton, prefix string, inputs [][]byte) (string, error) {
+	col := attr.NewCollector(a, attr.FromComponents(a, prefix))
+	e, err := dfa.New(a)
+	if err != nil {
+		return "", err
+	}
+	led := col.Ledger(col.GlobalCompOf())
+	e.SetLedger(led)
+	for _, in := range inputs {
+		e.Reset()
+		if _, err := e.RunChecked(in); err != nil {
+			return "", err
+		}
+	}
+	led.Commit()
+	return attr.TopOffender(col.Fold()), nil
+}
+
 // perSecond returns n/elapsed events per second, clamping elapsed to one
 // microsecond: on coarse clocks (or trivially small inputs) time.Since
 // can return zero, and the naive division would put +Inf — or NaN at
@@ -137,7 +174,15 @@ func TableIParallelSegmented(ctx context.Context, cfg core.Config, compress bool
 		ksp := forks[i].Start(b.Name)
 		defer ksp.End()
 		bsp := ksp.Start("build")
-		a, segs, err := b.Build(cfg)
+		var a *automata.Automaton
+		var segs [][]byte
+		var col *attr.Collector
+		var err error
+		if obs.attribute() {
+			a, segs, col, err = b.BuildAttributed(cfg)
+		} else {
+			a, segs, err = b.Build(cfg)
+		}
 		bsp.End()
 		if err != nil {
 			return fmt.Errorf("%s: %w", b.Name, err)
@@ -148,7 +193,7 @@ func TableIParallelSegmented(ctx context.Context, cfg core.Config, compress bool
 			Workers: workers, Segments: segments,
 			Hooks: stats.Hooks{
 				Registry: regs[i], Tracer: tr, Governor: gov,
-				Progress: pt, Recorder: rec,
+				Progress: pt, Recorder: rec, Attribution: col,
 			},
 		})
 		ssp.End()
@@ -163,6 +208,9 @@ func TableIParallelSegmented(ctx context.Context, cfg core.Config, compress bool
 			Input:   b.Input,
 			Static:  stats.Compute(a),
 			Dynamic: dyn,
+		}
+		if col != nil {
+			row.TopOffender = attr.TopOffender(col.Fold())
 		}
 		if compress {
 			csp := ksp.Start("compress")
@@ -219,14 +267,27 @@ func TableIIParallel(ctx context.Context, samples int, seed uint64, workers int,
 			r.Gauge("table2.states." + v.Name).Set(int64(a.NumStates()))
 			r.Gauge("table2.symbols_per_sample." + v.Name).Set(int64(enc.SymbolsPerSample))
 		}
-		return TableIIRow{
+		row := TableIIRow{
 			Variant:    v.Name,
 			Features:   v.Features,
 			MaxLeaves:  v.MaxLeaves,
 			States:     a.NumStates(),
 			Accuracy:   m.Accuracy(test),
 			SymbolsPer: enc.SymbolsPerSample,
-		}, nil
+		}
+		if obs.attribute() {
+			// Annotate with a short classification scan: which tree chain
+			// (component) does the most frontier work on real samples.
+			n := min(32, len(test.Samples))
+			qbuf := make([]uint8, m.FM.NumSelected())
+			ins := make([][]byte, n)
+			for j := 0; j < n; j++ {
+				m.FM.QuantizeInto(test.Samples[j].Pixels, qbuf)
+				ins[j] = enc.Encode(qbuf)
+			}
+			row.TopOffender = annotateNFA(a, "tree", ins)
+		}
+		return row, nil
 	})
 	mergeRegistries(obs, regs)
 	adoptSpans(obs, forks)
@@ -384,12 +445,23 @@ func TableIIIParallel(ctx context.Context, filters, inputItemsets int, seed uint
 		}
 		return (padded - plain) / plain * 100
 	}
-	return []TableIIIRow{
+	rows := []TableIIIRow{
 		{Engine: "VASim (NFA interpreter)", PlainSec: secs[0], PaddedSec: secs[1], OverheadPct: pct(secs[0], secs[1])},
 		{Engine: "Hyperscan (lazy DFA)", PlainSec: secs[2], PaddedSec: secs[3], OverheadPct: pct(secs[2], secs[3]),
 			HasCache: true, CacheHitRate: cacheTotal.HitRate(), CacheEvictRate: cacheTotal.EvictionRate(),
 			Fallbacks: cacheTotal.Fallbacks},
-	}, nil
+	}
+	if obs.attribute() {
+		// Untimed annotation passes over the plain kernel, one per engine,
+		// after every timed measurement has finished.
+		rows[0].TopOffender = annotateNFA(plain, "filter", [][]byte{input})
+		off, err := annotateDFA(plain, "filter", [][]byte{input})
+		if err != nil {
+			return nil, err
+		}
+		rows[1].TopOffender = off
+	}
+	return rows, nil
 }
 
 // TableIVParallel regenerates Table IV with its single-threaded kernels
@@ -418,6 +490,7 @@ func TableIVParallel(ctx context.Context, samples int, seed uint64, workers int,
 
 	var hsRate, nativeRate, fpgaRate float64
 	var dfaStats dfa.Stats
+	var annotateIns [][]byte // encoded samples kept for the annotation pass
 	regs := localRegistries(obs, 3)
 	forks := localSpans(obs, 3)
 	tr := obs.tracer()
@@ -466,6 +539,9 @@ func TableIVParallel(ctx context.Context, samples int, seed uint64, workers int,
 			hsRate = perSecond(hsN, time.Since(start))
 			ssp.End()
 			dfaStats = de.Stats()
+			if obs.attribute() {
+				annotateIns = encoded[:min(64, len(encoded))]
+			}
 			return nil
 		},
 		func() error { // Native single-threaded, from raw pixels.
@@ -520,6 +596,15 @@ func TableIVParallel(ctx context.Context, samples int, seed uint64, workers int,
 		if rows[0].KClassPerSec > 0 {
 			rows[i].Relative = rows[i].KClassPerSec / rows[0].KClassPerSec
 		}
+	}
+	if len(annotateIns) > 0 {
+		// Untimed annotation pass on a fresh engine after the measurements;
+		// only the automata row has patterns to attribute.
+		off, err := annotateDFA(a, "tree", annotateIns)
+		if err != nil {
+			return nil, err
+		}
+		rows[0].TopOffender = off
 	}
 	return rows, nil
 }

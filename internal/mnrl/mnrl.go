@@ -97,6 +97,37 @@ func Export(a *automata.Automaton, id string) *Network {
 // Import reconstructs an automaton from a Network. Node order in the file
 // is not significant; connections may reference nodes defined later.
 func Import(n *Network) (*automata.Automaton, error) {
+	return ImportTagged(n, nil)
+}
+
+// patternPrefix derives a stable pattern name from an MNRL node ID by
+// stripping one trailing "<sep><digits>" run (MNRL generators
+// conventionally number the states of one pattern that way, e.g.
+// "rule_42_7"). IDs without such a suffix name themselves.
+func patternPrefix(id string) string {
+	i := len(id)
+	for i > 0 && id[i-1] >= '0' && id[i-1] <= '9' {
+		i--
+	}
+	if i == len(id) || i == 0 {
+		return id
+	}
+	j := i
+	for j > 0 && (id[j-1] == '_' || id[j-1] == '.' || id[j-1] == '-') {
+		j--
+	}
+	if j == 0 {
+		return id
+	}
+	return id[:j]
+}
+
+// ImportTagged is Import additionally reporting each node's builder state
+// range to tag (when non-nil), named by the node's pattern prefix (see
+// patternPrefix), so a cost-attribution provenance map (internal/attr)
+// can group MNRL states by source pattern. Repeated names accumulate into
+// one pattern (attr.Ranges deduplicates by name).
+func ImportTagged(n *Network, tag func(name string, lo, hi int)) (*automata.Automaton, error) {
 	b := automata.NewBuilder()
 	ids := map[string]automata.StateID{}
 	// First pass: create states in file order.
@@ -142,6 +173,10 @@ func Import(n *Network) (*automata.Automaton, error) {
 		}
 		if node.Report {
 			b.SetReport(ids[node.ID], node.ReportCode)
+		}
+		if tag != nil {
+			s := int(ids[node.ID])
+			tag(patternPrefix(node.ID), s, s+1)
 		}
 	}
 	// Second pass: connections.

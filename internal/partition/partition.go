@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 
+	"automatazoo/internal/attr"
 	"automatazoo/internal/automata"
 	"automatazoo/internal/guard"
 	"automatazoo/internal/parallel"
@@ -145,6 +146,26 @@ func (p *Plan) Extract(i int) (*automata.Automaton, error) {
 	return b.Build()
 }
 
+// SliceCompOf returns the per-state global component index of slice i's
+// extracted automaton: Extract renumbers states in ascending global-ID
+// order, so filtering the whole automaton's component map by the slice's
+// component set reproduces the local numbering. The result is the compOf
+// map an attribution ledger needs to charge slice-local engine events to
+// global components (attr.Collector.Ledger).
+func (p *Plan) SliceCompOf(i int) []int32 {
+	want := map[int32]bool{}
+	for _, c := range p.Slices[i].Components {
+		want[c] = true
+	}
+	compOf := make([]int32, 0, p.Slices[i].States)
+	for s := range p.compIdx {
+		if want[p.compIdx[s]] {
+			compOf = append(compOf, p.compIdx[s])
+		}
+	}
+	return compOf
+}
+
 // Result aggregates a multi-pass run (sequential or parallel).
 type Result struct {
 	Passes  int
@@ -229,6 +250,12 @@ type RunOptions struct {
 	// Recorder, if non-nil, receives per-slice phase events and every
 	// slice engine's chunk/trip events for postmortem dumps.
 	Recorder *telemetry.FlightRecorder
+	// Attribution, if non-nil, collects per-component cost-attribution
+	// totals (internal/attr): every slice engine gets a slice-local ledger
+	// committed after its pass, so the collector's folded totals are
+	// identical at any worker or segment count (ledger commits are
+	// commutative sums).
+	Attribution *attr.Collector
 	// Segments, when > 1, additionally splits each slice's scan of the
 	// input into that many segment-parallel pieces (internal/segment):
 	// segment 0 scans exactly, later segments speculatively, and a
@@ -319,12 +346,20 @@ func (p *Plan) Run(ctx context.Context, input []byte, opts RunOptions) (Result, 
 		e.SetGovernor(gov)
 		e.SetProgress(opts.Progress)
 		e.SetRecorder(opts.Recorder)
+		var led *attr.Ledger
+		if opts.Attribution != nil {
+			led = opts.Attribution.Ledger(p.SliceCompOf(i))
+			e.SetLedger(led)
+		}
 		if buffered != nil {
 			e.OnReport = func(r sim.Report) { buffered[i] = append(buffered[i], r) }
 		}
 		rsp := ss.Start("scan")
 		st, err := e.RunChecked(input)
 		rsp.End()
+		if led != nil {
+			led.Commit()
+		}
 		stats[i] = st
 		return err
 	})
@@ -394,7 +429,7 @@ func (p *Plan) runSegmented(ctx context.Context, input []byte, opts RunOptions, 
 		if err != nil {
 			return err
 		}
-		runners[i] = segment.NewRunner(sub, input, segment.Options{
+		segOpts := segment.Options{
 			Segments:       opts.Segments,
 			Workers:        opts.Workers,
 			CollectReports: opts.OnReport != nil,
@@ -404,7 +439,12 @@ func (p *Plan) runSegmented(ctx context.Context, input []byte, opts RunOptions, 
 			Governor:       gov,
 			Progress:       opts.Progress,
 			Recorder:       opts.Recorder,
-		})
+		}
+		if opts.Attribution != nil {
+			segOpts.Attribution = opts.Attribution
+			segOpts.AttrCompOf = p.SliceCompOf(i)
+		}
+		runners[i] = segment.NewRunner(sub, input, segOpts)
 		return nil
 	})
 	if err == nil {

@@ -155,9 +155,18 @@ func Generate(n int, seed uint64) []Pattern {
 
 // Compile builds the benchmark automaton; pattern i reports with code i.
 func Compile(pats []Pattern) (*automata.Automaton, int, error) {
+	return CompileTagged(pats, nil)
+}
+
+// CompileTagged is Compile additionally reporting each successfully
+// compiled pattern's builder state range to tag (when non-nil), so a
+// cost-attribution provenance map (internal/attr) can name states by
+// motif ID.
+func CompileTagged(pats []Pattern, tag func(name string, lo, hi int)) (*automata.Automaton, int, error) {
 	b := automata.NewBuilder()
 	skipped := 0
 	for i, p := range pats {
+		lo := b.NumStates()
 		rx, err := ToRegex(p.Pattern)
 		if err != nil {
 			skipped++
@@ -171,6 +180,9 @@ func Compile(pats []Pattern) (*automata.Automaton, int, error) {
 		if _, err := regex.CompileInto(b, parsed, int32(i)); err != nil {
 			skipped++
 			continue
+		}
+		if tag != nil {
+			tag(p.ID, lo, b.NumStates())
 		}
 	}
 	a, err := b.Build()

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"automatazoo/internal/attr"
 	"automatazoo/internal/telemetry"
 )
 
@@ -74,6 +75,11 @@ type Manifest struct {
 	Kernels       []KernelRow              `json:"kernels"`
 	Spans         []telemetry.SpanSnapshot `json:"spans,omitempty"`
 	Metrics       *telemetry.Snapshot      `json:"metrics,omitempty"`
+
+	// Attribution holds the run's top-K per-pattern cost rows
+	// (internal/attr), already in canonical (cost desc, ID asc) order —
+	// present when the command ran with cost attribution enabled.
+	Attribution []attr.Cost `json:"attribution,omitempty"`
 
 	// Truncated marks a run the governor stopped early: a budget tripped,
 	// the deadline expired, or the context was cancelled. The manifest is

@@ -44,6 +44,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"automatazoo/internal/attr"
 	"automatazoo/internal/automata"
 	"automatazoo/internal/guard"
 	"automatazoo/internal/parallel"
@@ -158,6 +159,19 @@ type Options struct {
 	// Recorder, if non-nil, receives a RecSegment event per task plus
 	// commit/replay outcomes, and every engine's chunk/trip events.
 	Recorder *telemetry.FlightRecorder
+	// Attribution, if non-nil, collects per-component cost attribution
+	// (internal/attr). The master engine carries a ledger committed at
+	// Finish; each speculative segment scans into a scratch ledger that is
+	// committed only when its speculation validates (and discarded on
+	// replay, whose bytes the master re-scans and charges once), so the
+	// folded totals equal the sequential scan's exactly. Warmup bytes are
+	// never charged: the scratch ledger attaches after warmup, at the same
+	// point the segment's exact stats baseline is taken.
+	Attribution *attr.Collector
+	// AttrCompOf maps this runner's (possibly slice-local) state IDs to
+	// Attribution's global component indices; nil uses the collector's
+	// whole-automaton map.
+	AttrCompOf []int32
 }
 
 // Stitch counts the stitch outcomes of one segmented run — the
@@ -222,6 +236,7 @@ type spec struct {
 	exit    []automata.StateID // frontier after the segment (sorted)
 	stats   sim.Stats
 	reports []sim.Report
+	led     *attr.Ledger // scratch attribution, committed iff validated
 }
 
 // Runner is a resumable segmented scan: phase 1 exposes Tasks()
@@ -245,9 +260,11 @@ type Runner struct {
 	forks  []*telemetry.Spans
 	root   *telemetry.Span
 
-	collect bool
-	perSeg  [][]sim.Report
-	total   sim.Stats
+	collect    bool
+	perSeg     [][]sim.Report
+	total      sim.Stats
+	attrCompOf []int32
+	masterLed  *attr.Ledger
 
 	speculated  atomic.Int64
 	warmupBytes atomic.Int64
@@ -278,6 +295,14 @@ func NewRunner(a *automata.Automaton, input []byte, opts Options) *Runner {
 	r.master.SetGovernor(opts.Governor)
 	r.master.SetProgress(opts.Progress)
 	r.master.SetRecorder(opts.Recorder)
+	if opts.Attribution != nil {
+		r.attrCompOf = opts.AttrCompOf
+		if r.attrCompOf == nil {
+			r.attrCompOf = opts.Attribution.GlobalCompOf()
+		}
+		r.masterLed = opts.Attribution.Ledger(r.attrCompOf)
+		r.master.SetLedger(r.masterLed)
+	}
 
 	r.pool.New = func() any {
 		e := sim.New(a)
@@ -387,8 +412,16 @@ func (r *Runner) speculate(i int) error {
 	if r.collect {
 		e.OnReport = func(rep sim.Report) { buf = append(buf, rep) }
 	}
+	// The scratch attribution ledger attaches here — after warmup, at the
+	// exact-stats baseline — so it records only the segment's own scan.
+	var led *attr.Ledger
+	if r.opts.Attribution != nil {
+		led = r.opts.Attribution.Ledger(r.attrCompOf)
+		e.SetLedger(led)
+	}
 	st, err := e.RunChecked(r.input[lo:hi])
 	e.OnReport = nil
+	e.SetLedger(nil)
 	if err != nil {
 		return err
 	}
@@ -398,6 +431,7 @@ func (r *Runner) speculate(i int) error {
 		exit:    e.FrontierSnapshot(),
 		stats:   subStats(st, base),
 		reports: canonReports(buf),
+		led:     led,
 	}
 	return nil
 }
@@ -418,6 +452,9 @@ func (r *Runner) Finish(phase1Err error) (Result, error) {
 	if phase1Err != nil {
 		res.Stats = r.total
 		res.Stitch.Publish(r.opts.Registry)
+		if r.masterLed != nil {
+			r.masterLed.Commit()
+		}
 		r.root.End()
 		return res, phase1Err
 	}
@@ -432,9 +469,17 @@ func (r *Runner) Finish(phase1Err error) (Result, error) {
 			r.total = addStats(r.total, s.stats)
 			r.perSeg[i] = s.reports
 			r.master.RestoreState(&sim.StreamState{Offset: r.bounds[i+1], Frontier: s.exit})
+			if s.led != nil {
+				s.led.Commit()
+			}
 			res.Stitch.Committed++
 			r.opts.Recorder.Record(telemetry.RecSegment, i, "commit", r.bounds[i+1]-r.bounds[i])
 			continue
+		}
+		if s.led != nil {
+			// Failed speculation: the master re-scans (and charges) these
+			// bytes below; the scratch ledger is waste, not cost.
+			s.led.Discard()
 		}
 		if r.specOK {
 			res.Stitch.Replayed++
@@ -448,6 +493,9 @@ func (r *Runner) Finish(phase1Err error) (Result, error) {
 	ssp.End()
 	res.Stats = r.total
 	res.Stitch.Publish(r.opts.Registry)
+	if r.masterLed != nil {
+		r.masterLed.Commit()
+	}
 	if err != nil {
 		r.root.End()
 		return res, err

@@ -3,15 +3,16 @@ package sim
 import "testing"
 
 // TestDisabledLiveTelemetryZeroAllocs guards the checked path with the
-// live-ops surface fully disabled: with no governor, progress tracker, or
-// flight recorder attached, RunChecked must reduce to the exact Run fast
-// path and stay allocation-free once warm.
+// live-ops surface fully disabled: with no governor, progress tracker,
+// flight recorder, or attribution ledger attached, RunChecked must reduce
+// to the exact Run fast path and stay allocation-free once warm.
 func TestDisabledLiveTelemetryZeroAllocs(t *testing.T) {
 	a := literalAutomaton("abc", 1)
 	e := New(a)
 	e.SetGovernor(nil)
 	e.SetProgress(nil)
 	e.SetRecorder(nil)
+	e.SetLedger(nil)
 	input := []byte("xxabcxxabcabcxaxbxcabxcabc")
 	e.Reset()
 	if _, err := e.RunChecked(input); err != nil {

@@ -25,6 +25,7 @@ package sim
 import (
 	"slices"
 
+	"automatazoo/internal/attr"
 	"automatazoo/internal/automata"
 	"automatazoo/internal/charset"
 	"automatazoo/internal/guard"
@@ -172,6 +173,16 @@ type Engine struct {
 	// byte-for-byte the Run loop (asserted by the allocguard tests).
 	prog *telemetry.ProgressTracker
 	rec  *telemetry.FlightRecorder
+
+	// led, when attached, attributes runtime cost to source patterns: one
+	// frontier-work unit per activation, one report per emit, and scanned
+	// bytes flushed at the same chunk boundaries the governor checks (plus
+	// run end). Like gov/prog/rec it is outside telemetryOn and
+	// nil-guarded at every touch point, so the disabled path stays
+	// allocation-free (asserted by the allocguard test). ledMark is the
+	// Symbols watermark of the last byte flush.
+	led     *attr.Ledger
+	ledMark int64
 }
 
 // Options tune the engine's internal strategies; the zero value is the
@@ -290,6 +301,26 @@ func (e *Engine) SetProgress(t *telemetry.ProgressTracker) { e.prog = t }
 // chunk budget checks and budget trips for postmortem dumps.
 func (e *Engine) SetRecorder(r *telemetry.FlightRecorder) { e.rec = r }
 
+// SetLedger attaches a cost-attribution ledger (nil detaches). The
+// ledger accumulates per-component frontier work, reports, and scanned
+// bytes from this point of the stream onward — bytes consumed before the
+// attach (e.g. a segment-scan warmup) are not charged. The engine never
+// commits the ledger; the caller folds it into its collector when the
+// scan unit completes.
+func (e *Engine) SetLedger(l *attr.Ledger) {
+	e.led = l
+	e.ledMark = e.stats.Symbols
+}
+
+// flushLedger charges bytes scanned since the last flush to every
+// component this engine covers.
+func (e *Engine) flushLedger() {
+	if d := e.stats.Symbols - e.ledMark; d > 0 {
+		e.led.AddBytesAll(d)
+	}
+	e.ledMark = e.stats.Symbols
+}
+
 // SetRegistry attaches a metrics registry (nil detaches). Aggregate run
 // statistics are flushed to the sim.* counters at the end of every Run
 // (and on Reset), and the per-symbol enabled-frontier size is observed
@@ -335,6 +366,9 @@ func (e *Engine) Reset() {
 	if e.reg != nil {
 		e.flushStats() // don't lose stats accumulated via bare Step calls
 	}
+	if e.led != nil {
+		e.flushLedger()
+	}
 	e.frontier = e.frontier[:0]
 	e.next = e.next[:0]
 	// One bump suffices for EnableState's mark[id] == gen-1 dedupe to stay
@@ -360,6 +394,7 @@ func (e *Engine) Reset() {
 	e.offset = 0
 	e.stats = Stats{}
 	e.published = Stats{}
+	e.ledMark = 0
 	e.reports = e.reports[:0]
 }
 
@@ -379,6 +414,9 @@ func (e *Engine) Run(input []byte) Stats {
 	}
 	if e.reg != nil {
 		e.flushStats()
+	}
+	if e.led != nil {
+		e.flushLedger()
 	}
 	sp.End()
 	return e.stats
@@ -422,6 +460,9 @@ func (e *Engine) RunChecked(input []byte) (Stats, error) {
 		if e.prog != nil {
 			e.prog.Beat(n, int64(len(e.frontier)))
 		}
+		if e.led != nil {
+			e.flushLedger()
+		}
 		if err = e.gov.CheckActive(int64(len(e.frontier))); err != nil {
 			break
 		}
@@ -434,6 +475,9 @@ func (e *Engine) RunChecked(input []byte) (Stats, error) {
 	if e.reg != nil {
 		e.flushStats()
 	}
+	if e.led != nil {
+		e.flushLedger()
+	}
 	sp.End()
 	return e.stats, err
 }
@@ -442,6 +486,9 @@ func (e *Engine) emit(id automata.StateID) {
 	e.stats.Reports++
 	if e.CodeCounts != nil {
 		e.CodeCounts[e.code[id]]++
+	}
+	if e.led != nil {
+		e.led.Report(e.code[id])
 	}
 	r := Report{Offset: e.offset, State: id, Code: e.code[id]}
 	if e.tracer != nil {
@@ -473,6 +520,9 @@ func (e *Engine) activate(id automata.StateID) {
 	e.stats.Active++
 	if e.telemetryOn {
 		e.activateTelemetry(id)
+	}
+	if e.led != nil {
+		e.led.Activate(id)
 	}
 	if e.isReport[id] {
 		e.emit(id)

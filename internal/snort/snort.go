@@ -281,9 +281,17 @@ func Select(rules []Rule, mode FilterMode) []Rule {
 // counted (mirroring "every regular expression … that can be successfully
 // compiled by the pcre2mnrl tool").
 func Compile(rules []Rule) (*automata.Automaton, int, error) {
+	return CompileTagged(rules, nil)
+}
+
+// CompileTagged is Compile additionally reporting each successfully
+// compiled rule's builder state range to tag (when non-nil), so a cost-
+// attribution provenance map (internal/attr) can name states by rule.
+func CompileTagged(rules []Rule, tag func(name string, lo, hi int)) (*automata.Automaton, int, error) {
 	b := automata.NewBuilder()
 	skipped := 0
 	for _, r := range rules {
+		lo := b.NumStates()
 		parsed, err := regex.Parse(r.PCRE, r.Flags)
 		if err != nil {
 			skipped++
@@ -292,6 +300,9 @@ func Compile(rules []Rule) (*automata.Automaton, int, error) {
 		if _, err := regex.CompileInto(b, parsed, int32(r.SID)); err != nil {
 			skipped++
 			continue
+		}
+		if tag != nil {
+			tag(fmt.Sprintf("sid:%d", r.SID), lo, b.NumStates())
 		}
 	}
 	a, err := b.Build()

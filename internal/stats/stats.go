@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"automatazoo/internal/attr"
 	"automatazoo/internal/automata"
 	"automatazoo/internal/guard"
 	"automatazoo/internal/partition"
@@ -142,6 +143,11 @@ type Hooks struct {
 	Progress *telemetry.ProgressTracker
 	// Recorder, if non-nil, receives engine events for postmortem dumps.
 	Recorder *telemetry.FlightRecorder
+	// Attribution, if non-nil, collects per-component cost attribution
+	// (internal/attr) from every engine the observed run creates; the
+	// collector's folded totals are identical at any worker or segment
+	// count.
+	Attribution *attr.Collector
 }
 
 // ObserveSegmentsHooked is ObserveSegmentsGoverned with the full live-ops
@@ -166,12 +172,20 @@ func ObserveSegmentsHooked(a *automata.Automaton, segments [][]byte, h Hooks) (D
 	e.SetGovernor(h.Governor)
 	e.SetProgress(h.Progress)
 	e.SetRecorder(h.Recorder)
+	var led *attr.Ledger
+	if h.Attribution != nil {
+		led = h.Attribution.Ledger(h.Attribution.GlobalCompOf())
+		e.SetLedger(led)
+	}
 	var err error
 	for _, seg := range segments {
 		e.Reset()
 		if _, err = e.RunChecked(seg); err != nil {
 			break
 		}
+	}
+	if led != nil {
+		led.Commit()
 	}
 	after := simCounters(reg)
 	return dynamicFrom(
@@ -221,6 +235,7 @@ func ObserveSegmentsParallelHooked(ctx context.Context, a *automata.Automaton, s
 		res, err := plan.Run(ctx, seg, partition.RunOptions{
 			Workers: workers, Registry: h.Registry, Tracer: h.Tracer,
 			Governor: h.Governor, Progress: h.Progress, Recorder: h.Recorder,
+			Attribution: h.Attribution,
 		})
 		if err != nil {
 			return dynamicFrom(streamSymbols, active, enabled, reports), err
@@ -292,6 +307,7 @@ func ObserveStreams(ctx context.Context, a *automata.Automaton, streams [][]byte
 			Segments: ks[i], Workers: opts.Workers,
 			Registry: opts.Registry, Tracer: opts.Tracer, Governor: opts.Governor,
 			Progress: opts.Progress, Recorder: opts.Recorder,
+			Attribution: opts.Attribution,
 		})
 		stitch.Add(res.Stitch)
 		if err != nil {
@@ -334,7 +350,10 @@ func DynamicFromRegistry(reg *telemetry.Registry) Dynamic {
 	return dynamicFrom(c[0], c[1], c[2], c[3])
 }
 
-// Row is one full Table-I row.
+// Row is one full Table-I row. TopOffender, when set, names the source
+// pattern attributed the most runtime cost (experiments.Observer
+// attribution); Format never renders it, so the printed table is
+// unchanged.
 type Row struct {
 	Name   string
 	Domain string
@@ -342,6 +361,7 @@ type Row struct {
 	Static
 	Compression
 	Dynamic
+	TopOffender string
 }
 
 // Format renders the row in the layout of Table I.

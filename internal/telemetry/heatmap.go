@@ -61,9 +61,13 @@ func (p *StateProfile) TotalActivations() int64 {
 
 // HeatEntry is one row of a heatmap: a state, its subgraph, and its
 // activity counts. Share is this state's fraction of all activations.
+// Pattern, when set, names the source pattern that produced the state
+// (from a cost-attribution provenance map); WriteHeatmap renders the
+// column only when at least one entry carries a label.
 type HeatEntry struct {
 	State       uint32
 	Subgraph    int32
+	Pattern     string
 	Activations int64
 	Enables     int64
 	Share       float64
@@ -171,8 +175,25 @@ func WriteHeatmap(w io.Writer, entries []HeatEntry, symbols int64) error {
 		_, err := fmt.Fprintln(w, "(no state activations)")
 		return err
 	}
+	// The pattern column appears only when a provenance map labeled at
+	// least one entry, sized to the widest label so the table stays
+	// aligned; unlabeled heatmaps keep the historical layout exactly.
+	patWidth := 0
+	for _, e := range entries {
+		if len(e.Pattern) > patWidth {
+			patWidth = len(e.Pattern)
+		}
+	}
+	if patWidth > 0 && patWidth < len("Pattern") {
+		patWidth = len("Pattern")
+	}
 	maxShare := entries[0].Share
-	if _, err := fmt.Fprintf(w, "%6s %9s %12s %12s %8s  %s\n",
+	if patWidth > 0 {
+		if _, err := fmt.Fprintf(w, "%6s %9s %-*s %12s %12s %8s  %s\n",
+			"State", "Subgraph", patWidth, "Pattern", "Activations", "Act/Symbol", "Share", "Heat"); err != nil {
+			return err
+		}
+	} else if _, err := fmt.Fprintf(w, "%6s %9s %12s %12s %8s  %s\n",
 		"State", "Subgraph", "Activations", "Act/Symbol", "Share", "Heat"); err != nil {
 		return err
 	}
@@ -184,6 +205,18 @@ func WriteHeatmap(w io.Writer, entries []HeatEntry, symbols int64) error {
 		sub := "-"
 		if e.Subgraph >= 0 {
 			sub = fmt.Sprintf("%d", e.Subgraph)
+		}
+		if patWidth > 0 {
+			pat := e.Pattern
+			if pat == "" {
+				pat = "-"
+			}
+			if _, err := fmt.Fprintf(w, "%6d %9s %-*s %12d %12.4f %7.2f%%  %s\n",
+				e.State, sub, patWidth, pat, e.Activations, perSym, e.Share*100,
+				heatBar(e.Share, maxShare)); err != nil {
+				return err
+			}
+			continue
 		}
 		if _, err := fmt.Fprintf(w, "%6d %9s %12d %12.4f %7.2f%%  %s\n",
 			e.State, sub, e.Activations, perSym, e.Share*100,

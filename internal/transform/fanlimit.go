@@ -19,24 +19,44 @@ import (
 //
 // Counters are never split (they hold runtime state).
 func LimitFanOut(a *automata.Automaton, max int) (*automata.Automaton, error) {
-	if max < 2 {
-		return nil, fmt.Errorf("transform: fan-out limit must be >= 2")
-	}
-	cur := a
-	for iter := 0; iter < 64; iter++ {
-		changed, next, err := limitFanOutOnce(cur, max)
-		if err != nil {
-			return nil, err
-		}
-		if !changed {
-			return cur, nil
-		}
-		cur = next
-	}
-	return nil, fmt.Errorf("transform: fan-out limiting did not converge at max=%d", max)
+	lim, _, err := LimitFanOutMapped(a, max)
+	return lim, err
 }
 
-func limitFanOutOnce(a *automata.Automaton, max int) (bool, *automata.Automaton, error) {
+// LimitFanOutMapped is LimitFanOut returning additionally the state
+// replication map composed across all splitting iterations: copies[old]
+// lists every final state derived from original state old, for
+// provenance propagation.
+func LimitFanOutMapped(a *automata.Automaton, max int) (*automata.Automaton, [][]automata.StateID, error) {
+	if max < 2 {
+		return nil, nil, fmt.Errorf("transform: fan-out limit must be >= 2")
+	}
+	cur := a
+	// composed[orig] lists cur-automaton states derived from orig.
+	composed := make([][]automata.StateID, a.NumStates())
+	for i := range composed {
+		composed[i] = []automata.StateID{automata.StateID(i)}
+	}
+	for iter := 0; iter < 64; iter++ {
+		changed, next, step, err := limitFanOutOnce(cur, max)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !changed {
+			return cur, composed, nil
+		}
+		nextComposed := make([][]automata.StateID, len(composed))
+		for orig, list := range composed {
+			for _, c := range list {
+				nextComposed[orig] = append(nextComposed[orig], step[c]...)
+			}
+		}
+		composed, cur = nextComposed, next
+	}
+	return nil, nil, fmt.Errorf("transform: fan-out limiting did not converge at max=%d", max)
+}
+
+func limitFanOutOnce(a *automata.Automaton, max int) (bool, *automata.Automaton, [][]automata.StateID, error) {
 	n := a.NumStates()
 	over := false
 	for i := 0; i < n && !over; i++ {
@@ -45,7 +65,7 @@ func limitFanOutOnce(a *automata.Automaton, max int) (bool, *automata.Automaton,
 		}
 	}
 	if !over {
-		return false, a, nil
+		return false, a, nil, nil
 	}
 	b := automata.NewBuilder()
 	// copies[old] lists the new IDs of old's replicas (len 1 when not
@@ -85,7 +105,7 @@ func limitFanOutOnce(a *automata.Automaton, max int) (bool, *automata.Automaton,
 					}
 				}
 				if !found {
-					return false, nil, fmt.Errorf(
+					return false, nil, nil, fmt.Errorf(
 						"transform: state %d (self-loop, fan-out %d) cannot meet limit %d", id, deg, max)
 				}
 			} else {
@@ -145,7 +165,7 @@ func limitFanOutOnce(a *automata.Automaton, max int) (bool, *automata.Automaton,
 		}
 	}
 	nb, err := b.Build()
-	return true, nb, err
+	return true, nb, copies, err
 }
 
 // MaxFanOut returns the largest STE out-degree in the automaton.

@@ -292,10 +292,20 @@ func stringPattern(s String) (string, regex.Flags, error) {
 // with the suite transformation, and merged. Unsupported strings are
 // skipped and counted.
 func Compile(rules []Rule) (*automata.Automaton, int, error) {
+	return CompileTagged(rules, nil)
+}
+
+// CompileTagged is Compile additionally reporting each rule's builder
+// state ranges to tag (when non-nil) — one call per successfully compiled
+// string, all under the rule's name, covering the widened form for wide
+// strings — so a cost-attribution provenance map (internal/attr) can name
+// states by rule.
+func CompileTagged(rules []Rule, tag func(name string, lo, hi int)) (*automata.Automaton, int, error) {
 	b := automata.NewBuilder()
 	skipped := 0
 	for i, r := range rules {
 		for _, s := range r.Strings {
+			lo := b.NumStates()
 			pat, flags, err := stringPattern(s)
 			if err != nil {
 				skipped++
@@ -309,6 +319,8 @@ func Compile(rules []Rule) (*automata.Automaton, int, error) {
 			if !s.Wide {
 				if _, err := regex.CompileInto(b, parsed, int32(i)); err != nil {
 					skipped++
+				} else if tag != nil {
+					tag(r.Name, lo, b.NumStates())
 				}
 				continue
 			}
@@ -328,6 +340,9 @@ func Compile(rules []Rule) (*automata.Automaton, int, error) {
 				continue
 			}
 			b.Merge(wideA, 0)
+			if tag != nil {
+				tag(r.Name, lo, b.NumStates())
+			}
 		}
 	}
 	a, err := b.Build()

@@ -126,3 +126,110 @@ func TestNoDirectTimeNowInTelemetry(t *testing.T) {
 		t.Errorf("telemetry reads the clock outside the clock.go seam: %s", v)
 	}
 }
+
+// The attr package's determinism contract (see its package comment) is
+// that every output path — Fold, WriteText, Publish, provenance labels —
+// iterates slices in index order, never Go maps, whose iteration order is
+// randomized. Maps in attr are lookup tables only (byName, codeOwner):
+// this lint bans `range` over any map-typed name in the package, so a
+// future change cannot quietly reintroduce schedule-dependent output.
+// The check is syntactic: it collects every name declared with a map
+// type (struct fields, var decls, make/literal assignments) and flags
+// range statements over those names or over inline map expressions.
+func TestNoMapIterationInAttr(t *testing.T) {
+	fset := token.NewFileSet()
+	mapNames := map[string]bool{}
+	var files []*ast.File
+	err := filepath.WalkDir("internal/attr", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isMakeMap := func(e ast.Expr) bool {
+		if _, ok := e.(*ast.MapType); ok {
+			return true
+		}
+		if lit, ok := e.(*ast.CompositeLit); ok {
+			_, isMap := lit.Type.(*ast.MapType)
+			return isMap
+		}
+		if call, ok := e.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && len(call.Args) > 0 {
+				_, isMap := call.Args[0].(*ast.MapType)
+				return isMap
+			}
+		}
+		return false
+	}
+	// Pass 1: collect every name that is declared or assigned a map type.
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.Field:
+				if _, ok := v.Type.(*ast.MapType); ok {
+					for _, name := range v.Names {
+						mapNames[name.Name] = true
+					}
+				}
+			case *ast.ValueSpec:
+				if _, ok := v.Type.(*ast.MapType); ok {
+					for _, name := range v.Names {
+						mapNames[name.Name] = true
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range v.Rhs {
+					if i < len(v.Lhs) && isMakeMap(rhs) {
+						if id, ok := v.Lhs[i].(*ast.Ident); ok {
+							mapNames[id.Name] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Pass 2: flag range statements over map-typed names or expressions.
+	var violations []string
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			bad := isMakeMap(rng.X)
+			switch x := rng.X.(type) {
+			case *ast.Ident:
+				bad = bad || mapNames[x.Name]
+			case *ast.SelectorExpr:
+				bad = bad || mapNames[x.Sel.Name]
+			}
+			if bad {
+				violations = append(violations,
+					fset.Position(rng.Pos()).String())
+			}
+			return true
+		})
+	}
+	for _, v := range violations {
+		t.Errorf("attr ranges over a map (iteration order is randomized — output paths must iterate slices): %s", v)
+	}
+}
