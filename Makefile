@@ -25,7 +25,7 @@ BENCHDIFF_CI_INPUT ?= 100000
 BENCHDIFF_CI_THRESHOLD ?= 40%
 BENCHDIFF_CI_SEGMENTS ?= 4
 
-.PHONY: ci build vet fmt-check test race race-parallel allocguard prometheus-golden explain-golden fuzz-short fault-soak difftest-soak bench bench-engines bench-parallel bench-segments bench-snapshot benchdiff benchdiff-ci clean
+.PHONY: ci build vet fmt-check test race race-parallel allocguard prometheus-golden explain-golden fuzz-short fault-soak difftest-soak bench bench-engines bench-parallel bench-segments bench-prefilter bench-snapshot benchdiff benchdiff-ci clean
 
 ci: vet fmt-check build test race-parallel race allocguard prometheus-golden explain-golden fuzz-short fault-soak benchdiff-ci
 
@@ -61,7 +61,7 @@ race-parallel:
 # engines' RunChecked must collapse to it with no governor, progress
 # tracker, or flight recorder installed.
 allocguard:
-	$(GO) test -run 'TestNilTelemetryZeroAllocs|TestDisabledLiveTelemetryZeroAllocs' -count=1 -v ./internal/sim/ ./internal/dfa/
+	$(GO) test -run 'TestNilTelemetryZeroAllocs|TestDisabledLiveTelemetryZeroAllocs' -count=1 -v ./internal/sim/ ./internal/dfa/ ./internal/prefilter/
 
 # Byte-stability gate for the /metrics surface: the exposition golden
 # file plus the cross-worker-count determinism check (Table I's merged
@@ -85,6 +85,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz 'FuzzSimVsDFA' -fuzztime $(FUZZTIME) ./internal/difftest/
 	$(GO) test -run '^$$' -fuzz 'FuzzCompressPreservesReports' -fuzztime $(FUZZTIME) ./internal/difftest/
 	$(GO) test -run '^$$' -fuzz 'FuzzSeqVsSegmented' -fuzztime $(FUZZTIME) ./internal/difftest/
+	$(GO) test -run '^$$' -fuzz 'FuzzSimVsPrefilter' -fuzztime $(FUZZTIME) ./internal/difftest/
 	$(GO) test -run '^$$' -fuzz 'FuzzRegexCompile' -fuzztime $(FUZZTIME) ./internal/difftest/
 	$(GO) test -run '^$$' -fuzz 'FuzzMNRLLoad' -fuzztime $(FUZZTIME) ./internal/mnrl/
 
@@ -117,6 +118,12 @@ bench-parallel:
 bench-segments:
 	$(GO) test -bench 'BenchmarkSegmentScan' -benchmem -run '^$$' .
 
+# Two-stage literal prefilter vs plain NFA simulation on the same ClamAV
+# scan; the ratio is the literal-anchor speedup at the workload's match
+# density (EXPERIMENTS.md "Two-stage prefilter" reads these numbers).
+bench-prefilter:
+	$(GO) test -bench 'BenchmarkPrefilterScan|BenchmarkSimScan' -benchmem -run '^$$' ./internal/prefilter/
+
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
@@ -134,15 +141,15 @@ benchdiff:
 
 # Continuous-benchmarking CI gate: re-measure the checked-in baseline's
 # kernel set (plain rows plus @seg$(BENCHDIFF_CI_SEGMENTS) segment-parallel
-# twins) and fail (exit 5) on a regression beyond the CI threshold.
-# Regenerate the baseline after intentional perf changes with:
+# and @pf prefilter twins) and fail (exit 5) on a regression beyond the CI
+# threshold. Regenerate the baseline after intentional perf changes with:
 #   go run ./cmd/azoo bench -label ci -runs 3 -kernels "$(BENCHDIFF_CI_KERNELS)" \
 #     -scale $(BENCHDIFF_CI_SCALE) -input $(BENCHDIFF_CI_INPUT) -j 1 \
-#     -segments $(BENCHDIFF_CI_SEGMENTS) -timestamp <RFC3339>
+#     -segments $(BENCHDIFF_CI_SEGMENTS) -prefilter -timestamp <RFC3339>
 benchdiff-ci:
 	$(GO) run ./cmd/azoo bench -label ci-new -runs 3 -kernels "$(BENCHDIFF_CI_KERNELS)" \
 		-scale $(BENCHDIFF_CI_SCALE) -input $(BENCHDIFF_CI_INPUT) -j 1 \
-		-segments $(BENCHDIFF_CI_SEGMENTS) \
+		-segments $(BENCHDIFF_CI_SEGMENTS) -prefilter \
 		-o BENCH_ci-new.json
 	$(GO) run ./cmd/azoo benchdiff -threshold "$(BENCHDIFF_CI_THRESHOLD)" $(BENCHDIFF_CI_BASELINE) BENCH_ci-new.json; \
 		rc=$$?; rm -f BENCH_ci-new.json; exit $$rc

@@ -325,7 +325,8 @@ func BenchmarkPrefilterThroughput(b *testing.B) {
 	b.SetBytes(int64(len(segs[0])))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Scan(segs[0], nil)
+		s.Reset()
+		s.Run(segs[0])
 	}
 }
 

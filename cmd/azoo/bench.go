@@ -22,6 +22,7 @@ func cmdBench(args []string) error {
 	kernels := fs.String("kernels", "", "comma-separated kernel filters (exact name or substring; empty = whole suite)")
 	workers := fs.Int("j", 1, "workers per kernel scan (1 = exact sequential engine; kernels themselves run sequentially)")
 	segments := fs.Int("segments", 0, "when > 1, also time each kernel as an N-segment parallel scan, recorded as an extra <name>@seg<N> row (<= 1 = plain rows only)")
+	pf := fs.Bool("prefilter", false, "also time each kernel on the two-stage literal prefilter engine, recorded as an extra <name>@pf row")
 	out := fs.String("o", "", "output file (default BENCH_<label>.json)")
 	timestamp := fs.String("timestamp", "", "RFC3339 provenance timestamp (default now; fix it for reproducible artifacts)")
 	fs.Parse(args)
@@ -45,6 +46,7 @@ func cmdBench(args []string) error {
 		Config:    core.Config{Scale: *scale, InputBytes: *input, Seed: *seed},
 		Workers:   *workers,
 		Segments:  *segments,
+		Prefilter: *pf,
 		Timestamp: ts,
 	})
 	if err != nil {

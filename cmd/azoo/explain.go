@@ -25,7 +25,7 @@ func cmdExplain(args []string) error {
 	fs := flag.NewFlagSet("explain", flag.ExitOnError)
 	scale, input, seed := suiteFlags(fs)
 	name := fs.String("bench", "", "benchmark name (or pass it as the first argument)")
-	engine := fs.String("engine", "nfa", "engine: nfa (VASim-like) or dfa (Hyperscan-like)")
+	engine := fs.String("engine", "nfa", "engine: nfa (VASim-like), dfa (Hyperscan-like), or prefilter (two-stage literal prefilter)")
 	workers := workersFlag(fs)
 	segments := segmentsFlag(fs)
 	topK := fs.Int("top", 10, "cost rows to print (0 = every pattern)")
@@ -63,8 +63,15 @@ func explainRun(b core.Benchmark, cfg core.Config, engine string, workers, segme
 		return nil, err
 	}
 	switch engine {
-	case "nfa":
+	case "nfa", "prefilter":
 		h := stats.Hooks{Attribution: col}
+		if engine == "prefilter" {
+			// Same scan paths, prefilter engines behind the factory. Anchored
+			// components charge bytes at flush points and one work unit per
+			// matched literal byte (the chain work the nfa engine would have
+			// done); residual components attribute exactly as under nfa.
+			h.NewEngine = prefilterEngine
+		}
 		if workers == 1 || anySegmented(segs, segments, workers) {
 			_, _, err = stats.ObserveStreams(context.Background(), a, segs, stats.StreamOptions{
 				Workers: workers, Segments: segments, Hooks: h,

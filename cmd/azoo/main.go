@@ -6,16 +6,16 @@
 //
 //	azoo list
 //	azoo stats  -bench "Snort" [-scale 0.05] [-input 200000] [-compress]
-//	azoo run    -bench "ClamAV" [-scale 0.05] [-input 200000] [-engine nfa|dfa] [-j N] [-segments K]
-//	azoo explain -bench "Snort" [-engine nfa|dfa] [-top 10] [-json] [-j N] [-segments K]
+//	azoo run    -bench "ClamAV" [-scale 0.05] [-input 200000] [-engine nfa|dfa|prefilter] [-j N] [-segments K]
+//	azoo explain -bench "Snort" [-engine nfa|dfa|prefilter] [-top 10] [-json] [-j N] [-segments K]
 //	azoo profile snort [-top 20] [-trace out.ndjson] [-metrics out.json]
-//	azoo table1 [-scale 0.05] [-input 200000] [-compress] [-j N] [-segments K]
+//	azoo table1 [-scale 0.05] [-input 200000] [-compress] [-engine nfa|prefilter] [-j N] [-segments K]
 //	azoo table2 [-samples 4000] [-j N] [-segments K]
 //	azoo table3 [-filters 1719] [-itemsets 20000] [-j N] [-segments K]
 //	azoo table4 [-samples 4000] [-j N] [-segments K]
 //	azoo fig1   [-filters 10] [-symbols 1000000] [-trials 10]   (also Table V)
 //	azoo snortrates [-scale 0.2] [-input 400000]
-//	azoo bench  [-label ci] [-runs 3] [-kernels "Snort,Brill"] [-j N] [-segments K]
+//	azoo bench  [-label ci] [-runs 3] [-kernels "Snort,Brill"] [-j N] [-segments K] [-prefilter]
 //	azoo benchdiff old.json new.json [-threshold 5%]
 //	azoo difftest [-seeds 500] [-states 12] [-input 512] [-seed 1] [-pair sim-dfa] [-json]
 //	azoo version
@@ -64,6 +64,7 @@ import (
 	"automatazoo/internal/mnrl"
 	"automatazoo/internal/parallel"
 	"automatazoo/internal/partition"
+	"automatazoo/internal/prefilter"
 	"automatazoo/internal/report"
 	"automatazoo/internal/segment"
 	"automatazoo/internal/spatial"
@@ -225,7 +226,7 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	scale, input, seed := suiteFlags(fs)
 	name := fs.String("bench", "", "benchmark name")
-	engine := fs.String("engine", "nfa", "engine: nfa (VASim-like) or dfa (Hyperscan-like)")
+	engine := fs.String("engine", "nfa", "engine: nfa (VASim-like), dfa (Hyperscan-like), or prefilter (two-stage literal prefilter)")
 	workers := workersFlag(fs)
 	segments := segmentsFlag(fs)
 	tf := telemetryFlags(fs)
@@ -265,10 +266,12 @@ func cmdRun(args []string) error {
 	runConfig := suiteConfig(*scale, *input, *seed)
 	runConfig["segments"] = fmt.Sprintf("%d", *segments)
 	switch *engine {
-	case "nfa":
+	case "nfa", "prefilter":
 		// -j 1 is the exact single-engine path; -j N partitions the
 		// automaton across the worker pool; -segments additionally splits
-		// each stream into speculatively-scanned pieces. All combinations
+		// each stream into speculatively-scanned pieces. -engine prefilter
+		// swaps every scan engine for the two-stage literal prefilter via
+		// the factory — same exact stats and reports, so all combinations
 		// print identical lines (asserted suite-wide by
 		// TestRunOutputByteIdenticalAcrossWorkers).
 		var dyn stats.Dynamic
@@ -277,6 +280,13 @@ func cmdRun(args []string) error {
 			Registry: sess.registry(), Tracer: sess.ndjson(), Governor: sess.governor(),
 			Progress: sess.tracker(b.Name), Recorder: sess.recorder(),
 			Attribution: col,
+		}
+		var pfExtra func(*report.KernelRow)
+		if *engine == "prefilter" {
+			h.NewEngine = prefilterEngine
+			if pfExtra, err = prefilterExtras(a, sess.registry()); err != nil {
+				return err
+			}
 		}
 		if *workers == 1 || anySegmented(segs, *segments, *workers) {
 			// ObserveStreams delegates to the exact historical sequential
@@ -293,6 +303,9 @@ func cmdRun(args []string) error {
 			// A governor trip still records the partial work in the manifest.
 			row.Symbols, row.Reports = dyn.Symbols, dyn.Reports
 			addStitchExtra(&row, stitch)
+			if pfExtra != nil {
+				pfExtra(&row)
+			}
 			sess.recordAttribution(col)
 			sess.setReport("run", *workers, runConfig, []report.KernelRow{row})
 			return sess.closeTruncated(err)
@@ -300,6 +313,9 @@ func cmdRun(args []string) error {
 		row.Symbols, row.Reports = dyn.Symbols, dyn.Reports
 		row.Extra = map[string]float64{"active_set": dyn.ActiveSet, "report_rate": dyn.ReportRate}
 		addStitchExtra(&row, stitch)
+		if pfExtra != nil {
+			pfExtra(&row)
+		}
 		fmt.Printf("%s: %d states, %d symbols, %d reports (%.6f/sym), active set %.2f\n",
 			b.Name, a.NumStates(), dyn.Symbols, dyn.Reports,
 			dyn.ReportRate, dyn.ActiveSet)
@@ -372,6 +388,45 @@ func annotatedObserver(sess *obsSession, annotate bool) *experiments.Observer {
 		obs.Attribute = true
 	}
 	return obs
+}
+
+// prefilterEngine adapts prefilter.New to the segment.Engine factory
+// shape shared by the hooks/partition plumbing.
+func prefilterEngine(a *automata.Automaton) (segment.Engine, error) {
+	return prefilter.New(a)
+}
+
+// prefilterExtras returns a closure recording the two-stage prefilter's
+// manifest extras on a kernel row: the static anchored/unanchored
+// component split (from a throwaway analysis engine — the scan engines
+// live behind the factory and may be partitioned) and, when a registry is
+// attached, the dynamic anchor-hit count and per-symbol density
+// accumulated across every engine the run constructed. stdout never
+// carries these — printed output must stay byte-identical to -engine nfa.
+func prefilterExtras(a *automata.Automaton, reg *telemetry.Registry) (func(*report.KernelRow), error) {
+	pf, err := prefilter.New(a)
+	if err != nil {
+		return nil, err
+	}
+	anchored, unanchored := pf.Anchored(), pf.Unanchored()
+	var base int64
+	if reg != nil {
+		base = reg.Counter("prefilter.anchor_hits").Value()
+	}
+	return func(row *report.KernelRow) {
+		if row.Extra == nil {
+			row.Extra = map[string]float64{}
+		}
+		row.Extra["pf_anchored"] = float64(anchored)
+		row.Extra["pf_unanchored"] = float64(unanchored)
+		if reg != nil {
+			hits := reg.Counter("prefilter.anchor_hits").Value() - base
+			row.Extra["pf_anchor_hits"] = float64(hits)
+			if row.Symbols > 0 {
+				row.Extra["pf_anchor_hit_density"] = float64(hits) / float64(row.Symbols)
+			}
+		}
+	}, nil
 }
 
 // addStitchExtra records the segment-parallel stitch accounting in a
@@ -561,6 +616,7 @@ func cmdTable1(args []string) error {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
 	scale, input, seed := suiteFlags(fs)
 	compress := fs.Bool("compress", false, "also run prefix-merge compression (slow at large scales)")
+	engine := fs.String("engine", "nfa", "simulation engine: nfa or prefilter (rows are identical — exact engines)")
 	workers := workersFlag(fs)
 	segments := segmentsFlag(fs)
 	annotate := annotateFlag(fs)
@@ -574,10 +630,21 @@ func cmdTable1(args []string) error {
 	if err := armGovernor(sess, gf); err != nil {
 		return err
 	}
+	obs := annotatedObserver(sess, *annotate)
+	switch *engine {
+	case "nfa":
+	case "prefilter":
+		if obs == nil {
+			obs = &experiments.Observer{}
+		}
+		obs.NewEngine = prefilterEngine
+	default:
+		return usageErrorf("unknown engine %q", *engine)
+	}
 	cfg := core.Config{Scale: *scale, InputBytes: *input, Seed: *seed}
 	t1Config := suiteConfig(*scale, *input, *seed)
 	t1Config["segments"] = fmt.Sprintf("%d", *segments)
-	rows, err := experiments.TableIParallelSegmented(context.Background(), cfg, *compress, *workers, *segments, annotatedObserver(sess, *annotate))
+	rows, err := experiments.TableIParallelSegmented(context.Background(), cfg, *compress, *workers, *segments, obs)
 	if err != nil {
 		sess.setReport("table1", *workers, t1Config, nil)
 		return sess.closeTruncated(err)

@@ -67,7 +67,9 @@ func TestCrossEngineEquivalenceSuiteWide(t *testing.T) {
 				t.Fatal(err)
 			}
 			got := collect(func(_ int, input []byte, emit func(int64, int32)) {
-				pf.Scan(input, func(r sim.Report) { emit(r.Offset, r.Code) })
+				pf.Reset()
+				pf.OnReport = func(r sim.Report) { emit(r.Offset, r.Code) }
+				pf.Run(input)
 			})
 			compare(t, "prefilter", nfa, got)
 		})

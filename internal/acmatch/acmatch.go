@@ -215,6 +215,50 @@ func (m *Matcher) StepFrom(state int32, c byte, fn func(pattern int)) int32 {
 	return state
 }
 
+// PrefixWeights precomputes, per trie node, how many pattern-chain states
+// a literal-chain NFA would have active and enabled when the matcher sits
+// at that node. The two-stage prefilter (internal/prefilter) uses these to
+// reproduce sim.Stats exactly without stepping the chains:
+//
+//   - active[u]: the number of (pattern, position) pairs whose prefix is a
+//     suffix of the input when the matcher is at u after consuming a byte —
+//     exactly the chain states a full NFA would have matched that byte.
+//   - enabled[u]: the number of those pairs whose chain continues (the
+//     position is not the pattern's last), i.e. the chain states enabled
+//     for the NEXT byte, excluding the always-enabled chain heads (sim
+//     excludes indexed all-input starts from Stats.Enabled).
+//
+// patterns must be the literal set the matcher was compiled from. The
+// computation walks each pattern's goto path accumulating through/ends
+// counts per node, then folds them down the failure links: BFS renumbering
+// guarantees fail[u] < u, so one ascending pass resolves
+// w[u] = w[fail[u]] + own[u].
+func (m *Matcher) PrefixWeights(patterns [][]byte) (active, enabled []int64, err error) {
+	n := len(m.next)
+	through := make([]int64, n)
+	ends := make([]int64, n)
+	for i, p := range patterns {
+		cur := int32(0)
+		for _, c := range p {
+			nxt, ok := m.next[cur][c]
+			if !ok {
+				return nil, nil, fmt.Errorf("acmatch: pattern %d not in trie (matcher compiled from a different set)", i)
+			}
+			cur = nxt
+			through[cur]++
+		}
+		ends[cur]++
+	}
+	active = make([]int64, n)
+	enabled = make([]int64, n)
+	for u := 1; u < n; u++ {
+		f := m.fail[u]
+		active[u] = active[f] + through[u]
+		enabled[u] = enabled[f] + through[u] - ends[u]
+	}
+	return active, enabled, nil
+}
+
 // Count returns per-pattern occurrence counts in input.
 func (m *Matcher) Count(input []byte) []int64 {
 	counts := make([]int64, len(m.lens))

@@ -117,6 +117,76 @@ func TestQuickRandomized(t *testing.T) {
 	}
 }
 
+// TestPrefixWeights checks the chain-state weight tables against brute
+// force: walking the matcher over an input, active[state] must equal the
+// number of (pattern, position) pairs whose prefix is a suffix of the
+// consumed input, and enabled[state] the number of those pairs with a
+// continuing position — exactly the frontier a literal-chain NFA carries.
+func TestPrefixWeights(t *testing.T) {
+	rng := randx.New(23)
+	for trial := 0; trial < 60; trial++ {
+		np := 1 + rng.Intn(5)
+		patterns := make([][]byte, np)
+		for i := range patterns {
+			p := make([]byte, 1+rng.Intn(6))
+			for j := range p {
+				p[j] = byte('a' + rng.Intn(2))
+			}
+			patterns[i] = p
+		}
+		m, err := Compile(patterns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		active, enabled, err := m.PrefixWeights(patterns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		input := make([]byte, 1+rng.Intn(40))
+		for i := range input {
+			input[i] = byte('a' + rng.Intn(2))
+		}
+		state := int32(0)
+		for i := range input {
+			wantEnabled := int64(0)
+			for _, p := range patterns {
+				for d := 2; d <= len(p); d++ {
+					if i-d+1 >= 0 && bytes.Equal(input[i-d+1:i], p[:d-1]) {
+						wantEnabled++
+					}
+				}
+			}
+			if enabled[state] != wantEnabled {
+				t.Fatalf("trial %d offset %d: enabled[%d]=%d want %d (patterns=%q input=%q)",
+					trial, i, state, enabled[state], wantEnabled, patterns, input)
+			}
+			state = m.StepFrom(state, input[i], func(int) {})
+			wantActive := int64(0)
+			for _, p := range patterns {
+				for d := 1; d <= len(p); d++ {
+					if i-d+1 >= 0 && bytes.Equal(input[i-d+1:i+1], p[:d]) {
+						wantActive++
+					}
+				}
+			}
+			if active[state] != wantActive {
+				t.Fatalf("trial %d offset %d: active[%d]=%d want %d (patterns=%q input=%q)",
+					trial, i, state, active[state], wantActive, patterns, input)
+			}
+		}
+	}
+}
+
+func TestPrefixWeightsForeignPatternRejected(t *testing.T) {
+	m, err := Compile([][]byte{[]byte("abc")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.PrefixWeights([][]byte{[]byte("xyz")}); err == nil {
+		t.Fatal("foreign pattern set accepted")
+	}
+}
+
 // Differential test: Aho–Corasick agrees with the homogeneous-automata NFA
 // engine on literal rule sets (three independent engines, one semantics).
 func TestAgreesWithNFAEngine(t *testing.T) {

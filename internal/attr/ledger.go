@@ -137,6 +137,20 @@ func (c *Collector) ComponentOf(s automata.StateID) int32 { return c.compOf[s] }
 // (partition.Plan.SliceCompOf) for partitioned ones. The ledger's
 // hot-path methods are allocation-free.
 func (c *Collector) Ledger(compOf []int32) *Ledger {
+	d := newLedgerData(len(c.compPats), c.prov.NumPatterns())
+	return &Ledger{
+		c:         c,
+		compOf:    compOf,
+		slots:     uniqueSlots(compOf),
+		codeOwner: c.codeOwner,
+		unattrib:  int32(c.prov.NumPatterns()),
+		d:         &d,
+	}
+}
+
+// uniqueSlots returns the sorted distinct global component indices of a
+// state→component map.
+func uniqueSlots(compOf []int32) []int32 {
 	slots := make([]int32, 0, 8)
 	seen := make(map[int32]bool, 8)
 	for _, g := range compOf {
@@ -146,14 +160,7 @@ func (c *Collector) Ledger(compOf []int32) *Ledger {
 		}
 	}
 	sortIDs(slots)
-	return &Ledger{
-		c:         c,
-		compOf:    compOf,
-		slots:     slots,
-		codeOwner: c.codeOwner,
-		unattrib:  int32(c.prov.NumPatterns()),
-		d:         newLedgerData(len(c.compPats), c.prov.NumPatterns()),
-	}
+	return slots
 }
 
 // GlobalCompOf returns the global state→component map for whole-automaton
@@ -177,7 +184,25 @@ type Ledger struct {
 	slots     []int32 // sorted unique global components this engine covers
 	codeOwner map[int32]int32
 	unattrib  int32
-	d         ledgerData
+	d         *ledgerData // shared with any Views of this ledger
+}
+
+// View returns a ledger that shares this ledger's accumulation buffer but
+// maps a different engine-local state space: compOf maps the sub-engine's
+// state IDs to global component indices (build it with Slot over the
+// parent's numbering). The two-stage prefilter hands a view to its
+// residual sim engine so both stages charge one buffer; the parent's
+// Commit/Discard covers everything the view recorded. Views must not be
+// used concurrently with their parent.
+func (l *Ledger) View(compOf []int32) *Ledger {
+	return &Ledger{
+		c:         l.c,
+		compOf:    compOf,
+		slots:     uniqueSlots(compOf),
+		codeOwner: l.codeOwner,
+		unattrib:  l.unattrib,
+		d:         l.d,
+	}
 }
 
 // Activate records one unit of frontier work for the component of
@@ -229,7 +254,7 @@ func (l *Ledger) AddFallback(slot int32) { l.d.fall[slot]++ }
 // it. Safe to call repeatedly; concurrent commits from different ledgers
 // serialize on the collector.
 func (l *Ledger) Commit() {
-	l.c.commit(&l.d)
+	l.c.commit(l.d)
 	l.d.zero()
 }
 

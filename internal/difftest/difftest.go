@@ -33,6 +33,7 @@ import (
 	"automatazoo/internal/bitnfa"
 	"automatazoo/internal/charset"
 	"automatazoo/internal/dfa"
+	"automatazoo/internal/prefilter"
 	"automatazoo/internal/randx"
 	"automatazoo/internal/segment"
 	"automatazoo/internal/sim"
@@ -425,6 +426,131 @@ func SeqVsSegmented(a *automata.Automaton, input []byte, segments int) *Divergen
 		got = append(got, Event{Offset: r.Offset, Code: r.Code})
 	}
 	return diffStreams(PairSeqVsSegmented, canon(refEvs), canon(got))
+}
+
+// anchorAlphabet is the tiny symbol pool of the anchorable generator: four
+// symbols keep literal chains short-period, so anchors self-overlap in the
+// input and the prefilter's overlapping-hit handling is actually on trial.
+var anchorAlphabet = []byte("abcd")
+
+// GenAnchorable builds a random automaton biased toward what the literal
+// prefilter can anchor: single-symbol chains hanging off one all-input
+// start, optionally continued by multi-symbol class tails. The generic
+// Generate almost never produces such shapes (its states draw dense random
+// classes), so without this generator the seq-prefilter pair would soak
+// only the residual pass-through. A sprinkling of the prefilter's
+// documented fallbacks — chains shorter than its minimum anchor length,
+// start-of-data heads, second start states converging mid-chain — keeps
+// the anchored/residual split itself random. Returns one witness string
+// per component so input generation can splice in guaranteed matches.
+func GenAnchorable(rng *randx.Rand) (*automata.Automaton, [][]byte) {
+	b := automata.NewBuilder()
+	nComp := 2 + rng.Intn(4)
+	var witnesses [][]byte
+	code := int32(1)
+	for c := 0; c < nComp; c++ {
+		n := rng.IntRange(1, 6) // 1..2 fall under the anchor minimum
+		start := automata.StartAllInput
+		if rng.Intn(8) == 0 {
+			start = automata.StartOfData
+		}
+		first := randx.Pick(rng, anchorAlphabet)
+		head := b.AddSTE(charset.Single(first), start)
+		prev := head
+		witness := []byte{first}
+		for i := 1; i < n; i++ {
+			sym := randx.Pick(rng, anchorAlphabet)
+			s := b.AddSTE(charset.Single(sym), automata.StartNone)
+			b.AddEdge(prev, s)
+			prev = s
+			witness = append(witness, sym)
+		}
+		for t := rng.Intn(3); t > 0; t-- {
+			var cs charset.Set
+			for _, sym := range anchorAlphabet {
+				if rng.Float64() < 0.5 {
+					cs.Add(sym)
+				}
+			}
+			wsym := randx.Pick(rng, anchorAlphabet)
+			cs.Add(wsym)
+			s := b.AddSTE(cs, automata.StartNone)
+			b.AddEdge(prev, s)
+			if rng.Intn(2) == 0 {
+				b.SetReport(s, code)
+				code++
+			}
+			prev = s
+			witness = append(witness, wsym)
+		}
+		b.SetReport(prev, code)
+		code++
+		if rng.Intn(6) == 0 {
+			// A second start head converging into the component makes it
+			// multi-start — the prefilter must route it to the residual.
+			h2 := b.AddSTE(charset.Single(randx.Pick(rng, anchorAlphabet)), automata.StartAllInput)
+			b.AddEdge(h2, prev)
+		}
+		witnesses = append(witnesses, witness)
+	}
+	return b.MustBuild(), witnesses
+}
+
+// GenAnchorableInput draws mostly-alphabet input and splices each witness
+// in a few times, so anchor hits (and their residual confirmations) occur
+// at realistic density instead of never.
+func GenAnchorableInput(rng *randx.Rand, witnesses [][]byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		if rng.Float64() < 0.85 {
+			out[i] = randx.Pick(rng, anchorAlphabet)
+		} else {
+			out[i] = rng.Byte()
+		}
+	}
+	for _, w := range witnesses {
+		if len(w) > n {
+			continue
+		}
+		for k := 0; k < 3; k++ {
+			copy(out[rng.Intn(n-len(w)+1):], w)
+		}
+	}
+	return out
+}
+
+// SimVsPrefilter checks the two-stage literal prefilter's exactness
+// contract: prefilter on a must reproduce sim's exact Stats AND its exact
+// (offset, code) report multiset on the same input. Any automaton is valid
+// input — components the analysis cannot anchor (including counter-bearing
+// ones) run on the embedded residual engine, so an unanchorable automaton
+// exercises the pass-through accounting rather than vacuously passing.
+func SimVsPrefilter(a *automata.Automaton, input []byte) *Divergence {
+	ref := sim.New(a)
+	ref.CollectReports = true
+	refStats := ref.Run(input)
+	refEvs := make([]Event, 0, len(ref.Reports()))
+	for _, r := range ref.Reports() {
+		refEvs = append(refEvs, Event{Offset: r.Offset, Code: r.Code})
+	}
+	pf, err := prefilter.New(a)
+	if err != nil {
+		return &Divergence{Pair: PairSimVsPrefilter, Offset: -1, Detail: "prefilter.New: " + err.Error()}
+	}
+	pf.CollectReports = true
+	gotStats := pf.Run(input)
+	if gotStats != refStats {
+		return &Divergence{
+			Pair: PairSimVsPrefilter, Offset: -1,
+			Detail: fmt.Sprintf("stats mismatch: sim %+v, prefilter %+v (%d/%d components anchored)",
+				refStats, gotStats, pf.Anchored(), pf.Anchored()+pf.Unanchored()),
+		}
+	}
+	got := make([]Event, 0, len(pf.Reports()))
+	for _, r := range pf.Reports() {
+		got = append(got, Event{Offset: r.Offset, Code: r.Code})
+	}
+	return diffStreams(PairSimVsPrefilter, canon(refEvs), canon(got))
 }
 
 // SimVsBitNFA checks 8-striding: the bit-level reference interpreter vs

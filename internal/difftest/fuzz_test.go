@@ -3,6 +3,7 @@ package difftest
 import (
 	"testing"
 
+	"automatazoo/internal/automata"
 	"automatazoo/internal/randx"
 	"automatazoo/internal/regex"
 )
@@ -86,6 +87,52 @@ func FuzzSeqVsSegmented(f *testing.F) {
 		segments := 2 + int(nseg%7)
 		if d := SeqVsSegmented(a, input, segments); d != nil {
 			t.Fatalf("seed %d segments %d: %s", seed, segments, d.String())
+		}
+	})
+}
+
+// FuzzSimVsPrefilter drives the two-stage literal prefilter's exactness
+// contract: for any anchorable automaton (chosen by the seed) and any
+// input, the prefilter's Stats and report multiset must equal sim's. The
+// seed also picks between the anchorable generator (the two-stage path)
+// and the generic one (residual pass-through, sometimes with counters),
+// so both halves of the engine fuzz from one target.
+func FuzzSimVsPrefilter(f *testing.F) {
+	f.Add(uint64(1), []byte("abcabcabab"))
+	// Dense single-symbol input: chains of one repeated symbol make anchors
+	// self-overlap maximally, the report-ordering stress case.
+	f.Add(uint64(7), []byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"))
+	f.Add(uint64(42), []byte("ddddaaaaddddaaaadddd"))
+	f.Fuzz(func(t *testing.T, seed uint64, raw []byte) {
+		var a *automata.Automaton
+		var input []byte
+		if seed%3 != 0 {
+			var wit [][]byte
+			rng := randx.New(seed)
+			a, wit = GenAnchorable(rng.Fork())
+			if len(raw) > maxFuzzInput {
+				raw = raw[:maxFuzzInput]
+			}
+			input = make([]byte, len(raw))
+			for i, b := range raw {
+				if b&0x0f < 13 {
+					input[i] = anchorAlphabet[int(b)%len(anchorAlphabet)]
+				} else {
+					input[i] = b
+				}
+			}
+			// Splice one witness so the anchored path fires even on inputs
+			// the mutator drove away from the alphabet.
+			if len(wit) > 0 && len(wit[0]) <= len(input) {
+				copy(input[rng.Intn(len(input)-len(wit[0])+1):], wit[0])
+			}
+		} else {
+			cfg := GenConfig{Counters: int(seed % 2)}
+			a = Generate(randx.New(seed), cfg)
+			input = fuzzInput(raw, cfg)
+		}
+		if d := SimVsPrefilter(a, input); d != nil {
+			t.Fatalf("seed %d: %s", seed, d.String())
 		}
 	})
 }

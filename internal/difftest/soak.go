@@ -11,10 +11,11 @@ const (
 	PairSimCompressed  = "sim-compressed"
 	PairSimBitNFA      = "sim-bitnfa"
 	PairSeqVsSegmented = "seq-segmented"
+	PairSimVsPrefilter = "seq-prefilter"
 )
 
 // AllPairs lists every oracle pair in canonical order.
-var AllPairs = []string{PairSimDFA, PairSimCompressed, PairSimBitNFA, PairSeqVsSegmented}
+var AllPairs = []string{PairSimDFA, PairSimCompressed, PairSimBitNFA, PairSeqVsSegmented, PairSimVsPrefilter}
 
 // SoakConfig parameterizes a soak run.
 type SoakConfig struct {
@@ -162,6 +163,27 @@ func Soak(cfg SoakConfig) SoakResult {
 			ac := Generate(rng.Fork(), cfgCtr)
 			inputC := GenInput(rng.Fork(), cfgCtr, cfg.InputLen)
 			record(PairSeqVsSegmented, seed, len(simEvents(ac, inputC)), SeqVsSegmented(ac, inputC, segments))
+		}
+
+		// Appended last (same seed-stability rule as above). Three trials
+		// per seed: an anchorable automaton with spliced witness matches
+		// (the two-stage path proper), a generic counter-free automaton
+		// (mostly residual pass-through), and a counter-bearing one (counter
+		// components always route to the residual).
+		if want[PairSimVsPrefilter] {
+			a, wit := GenAnchorable(rng.Fork())
+			input := GenAnchorableInput(rng.Fork(), wit, cfg.InputLen)
+			record(PairSimVsPrefilter, seed, len(simEvents(a, input)), SimVsPrefilter(a, input))
+
+			cfgFree := GenConfig{States: cfg.States}
+			ag := Generate(rng.Fork(), cfgFree)
+			inputG := GenInput(rng.Fork(), cfgFree, cfg.InputLen)
+			record(PairSimVsPrefilter, seed, len(simEvents(ag, inputG)), SimVsPrefilter(ag, inputG))
+
+			cfgCtr := GenConfig{States: cfg.States, Counters: 1 + i%2}
+			ac := Generate(rng.Fork(), cfgCtr)
+			inputC := GenInput(rng.Fork(), cfgCtr, cfg.InputLen)
+			record(PairSimVsPrefilter, seed, len(simEvents(ac, inputC)), SimVsPrefilter(ac, inputC))
 		}
 	}
 	return res

@@ -14,9 +14,11 @@ package experiments
 import (
 	"context"
 
+	"automatazoo/internal/automata"
 	"automatazoo/internal/core"
 	"automatazoo/internal/guard"
 	"automatazoo/internal/mesh"
+	"automatazoo/internal/segment"
 	"automatazoo/internal/snort"
 	"automatazoo/internal/stats"
 	"automatazoo/internal/telemetry"
@@ -46,9 +48,22 @@ type Observer struct {
 	// tables' timed loops (annotation scans run outside them) and the
 	// default rendered output is unchanged.
 	Attribute bool
+	// NewEngine, if non-nil, selects the scan-engine implementation for
+	// every simulation the experiment runs (the `azoo table1 -engine`
+	// plumbing); nil uses the plain NFA interpreter. Rows are identical
+	// for any exact engine, so this changes how the table is computed,
+	// never its contents.
+	NewEngine func(*automata.Automaton) (segment.Engine, error)
 }
 
 func (o *Observer) attribute() bool { return o != nil && o.Attribute }
+
+func (o *Observer) newEngine() func(*automata.Automaton) (segment.Engine, error) {
+	if o == nil {
+		return nil
+	}
+	return o.NewEngine
+}
 
 func (o *Observer) registry() *telemetry.Registry {
 	if o == nil {

@@ -194,6 +194,7 @@ func TableIParallelSegmented(ctx context.Context, cfg core.Config, compress bool
 			Hooks: stats.Hooks{
 				Registry: regs[i], Tracer: tr, Governor: gov,
 				Progress: pt, Recorder: rec, Attribution: col,
+				NewEngine: obs.newEngine(),
 			},
 		})
 		ssp.End()

@@ -6,7 +6,10 @@ import (
 	"runtime"
 	"testing"
 
+	"automatazoo/internal/automata"
 	"automatazoo/internal/core"
+	"automatazoo/internal/prefilter"
+	"automatazoo/internal/segment"
 	"automatazoo/internal/telemetry"
 )
 
@@ -61,6 +64,35 @@ func TestTableISegmentedMatchesSequential(t *testing.T) {
 	}
 	if reg.Counter("segment.segments").Value() == 0 {
 		t.Fatal("segmented run published no segment.* accounting")
+	}
+}
+
+// TestTableIPrefilterMatchesSequential: the engine factory is an
+// execution strategy, not a semantics change — Table I rows computed with
+// the two-stage literal prefilter behind every scan (`azoo table1 -engine
+// prefilter`) must equal the plain-sim rows exactly. (Registries
+// legitimately differ: the prefilter adds prefilter.* counters.)
+func TestTableIPrefilterMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite generation, twice")
+	}
+	cfg := core.Config{Scale: 0.004, InputBytes: 3000, Seed: 1}
+	seq, err := TableIParallel(context.Background(), cfg, false, runtime.NumCPU(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	pf, err := TableIParallelSegmented(context.Background(), cfg, false, runtime.NumCPU(), 0, &Observer{
+		Registry: reg,
+		NewEngine: func(a *automata.Automaton) (segment.Engine, error) {
+			return prefilter.New(a)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, pf) {
+		t.Fatal("prefilter Table I rows differ from sequential sim rows")
 	}
 }
 

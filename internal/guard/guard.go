@@ -84,6 +84,13 @@ const (
 	// not count against MaxInputBytes (the segment-proper scan accounts
 	// them once, at the usual sim.chunk boundary).
 	SiteSegment = "segment.spec"
+	// SitePrefilter is the two-stage prefilter engine's ~4 KiB cooperative
+	// chunk boundary (internal/prefilter), the analogue of sim.chunk /
+	// dfa.chunk for the third execution mode. Fault-injection rules keyed
+	// on it trip prefilter runs independently of -j / -segments, since
+	// every prefilter engine (master, speculative, per-slice) checks in
+	// here.
+	SitePrefilter = "prefilter.chunk"
 )
 
 // TripError is the structured error for a tripped budget: which budget,

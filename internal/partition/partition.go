@@ -273,6 +273,12 @@ type RunOptions struct {
 	// than engine emission order. Offsets are still ascending and ties
 	// across slices still break by slice index; the multiset is unchanged.
 	Segments int
+	// NewEngine, if non-nil, constructs every slice engine (and, under
+	// Segments > 1, every segment master and speculative engine); nil uses
+	// the plain NFA interpreter (sim.New). The factory must be
+	// deterministic so the report-stream contract holds at any worker or
+	// segment count.
+	NewEngine func(*automata.Automaton) (segment.Engine, error)
 }
 
 // RunParallel executes input once per slice, fanning the slices out over
@@ -340,7 +346,14 @@ func (p *Plan) Run(ctx context.Context, input []byte, opts RunOptions) (Result, 
 		if err != nil {
 			return err
 		}
-		e := sim.New(sub)
+		var e segment.Engine
+		if opts.NewEngine != nil {
+			if e, err = opts.NewEngine(sub); err != nil {
+				return err
+			}
+		} else {
+			e = sim.New(sub)
+		}
 		e.SetRegistry(opts.Registry)
 		e.SetTracer(opts.Tracer)
 		e.SetGovernor(gov)
@@ -352,7 +365,7 @@ func (p *Plan) Run(ctx context.Context, input []byte, opts RunOptions) (Result, 
 			e.SetLedger(led)
 		}
 		if buffered != nil {
-			e.OnReport = func(r sim.Report) { buffered[i] = append(buffered[i], r) }
+			e.SetOnReport(func(r sim.Report) { buffered[i] = append(buffered[i], r) })
 		}
 		rsp := ss.Start("scan")
 		st, err := e.RunChecked(input)
@@ -439,13 +452,14 @@ func (p *Plan) runSegmented(ctx context.Context, input []byte, opts RunOptions, 
 			Governor:       gov,
 			Progress:       opts.Progress,
 			Recorder:       opts.Recorder,
+			NewEngine:      opts.NewEngine,
 		}
 		if opts.Attribution != nil {
 			segOpts.Attribution = opts.Attribution
 			segOpts.AttrCompOf = p.SliceCompOf(i)
 		}
-		runners[i] = segment.NewRunner(sub, input, segOpts)
-		return nil
+		runners[i], err = segment.NewRunner(sub, input, segOpts)
+		return err
 	})
 	if err == nil {
 		// Flatten (slice, task) into one work list via prefix sums so the

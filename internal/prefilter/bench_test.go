@@ -1,0 +1,57 @@
+package prefilter
+
+import (
+	"testing"
+
+	"automatazoo/internal/automata"
+	"automatazoo/internal/clamav"
+	"automatazoo/internal/sim"
+)
+
+// benchWorkload is a ClamAV-shaped low-match-density scan: 300 literal-
+// headed signatures over a 1 MiB disk image containing two planted
+// matches. This is the prefilter's design point — anchor hits are rare, so
+// nearly all NFA frontier work is skipped.
+func benchWorkload(b *testing.B) (*automata.Automaton, []byte) {
+	b.Helper()
+	sigs := clamav.Generate(300, 21)
+	a, _, err := clamav.Compile(sigs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := clamav.DiskImage(1<<20, []clamav.Signature{sigs[5], sigs[200]}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a, img
+}
+
+// BenchmarkPrefilterScan measures the two-stage engine on the low-density
+// workload; compare against BenchmarkSimScan on the same automaton and
+// input for the headline speedup. At high match density the prefilter
+// degrades toward (and below) sim — see EXPERIMENTS.md for the sweep.
+func BenchmarkPrefilterScan(b *testing.B) {
+	a, img := benchWorkload(b)
+	e, err := New(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Run(img)
+	}
+}
+
+// BenchmarkSimScan is the single-stage baseline on the identical workload.
+func BenchmarkSimScan(b *testing.B) {
+	a, img := benchWorkload(b)
+	e := sim.New(a)
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Run(img)
+	}
+}

@@ -1,58 +1,70 @@
 package prefilter
 
 import (
+	"sort"
 	"testing"
 
 	"automatazoo/internal/automata"
+	"automatazoo/internal/charset"
 	"automatazoo/internal/clamav"
 	"automatazoo/internal/entity"
+	"automatazoo/internal/guard"
 	"automatazoo/internal/regex"
 	"automatazoo/internal/sim"
 	"automatazoo/internal/spm"
 	"automatazoo/internal/yara"
 )
 
-// agree asserts the prefilter scanner reports exactly what plain NFA
-// interpretation reports.
-func agree(t *testing.T, a *automata.Automaton, input []byte) *Scanner {
+// agree asserts the prefilter engine reproduces plain NFA interpretation
+// exactly: identical Stats and an identical report multiset, with the
+// prefilter's stream additionally in canonical (offset, code, state)
+// order.
+func agree(t *testing.T, a *automata.Automaton, input []byte) *Engine {
 	t.Helper()
 	ref := sim.New(a)
-	want := map[[2]int64]int{}
-	ref.OnReport = func(r sim.Report) { want[[2]int64{r.Offset, int64(r.Code)}]++ }
-	ref.Run(input)
+	var want []sim.Report
+	ref.OnReport = func(r sim.Report) { want = append(want, r) }
+	wantStats := ref.Run(input)
 
-	s, err := New(a)
+	e, err := New(a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := map[[2]int64]int{}
-	res := s.Scan(input, func(r sim.Report) { got[[2]int64{r.Offset, int64(r.Code)}]++ })
-	if res.Reports != int64(len(flatten(got))) {
-		t.Fatalf("result count inconsistent: %d vs %d", res.Reports, len(flatten(got)))
+	var got []sim.Report
+	e.OnReport = func(r sim.Report) { got = append(got, r) }
+	gotStats := e.Run(input)
+
+	if gotStats != wantStats {
+		t.Fatalf("stats differ:\nprefilter=%+v\nsim      =%+v", gotStats, wantStats)
 	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return reportLess(got[i], got[j]) }) {
+		t.Fatalf("prefilter reports not in canonical order: %v", got)
+	}
+	// sim emits within-offset reports in activation order; canonicalize
+	// both sides before the element-wise comparison.
+	sort.SliceStable(want, func(i, j int) bool { return reportLess(want[i], want[j]) })
 	if len(got) != len(want) {
-		t.Fatalf("report sets differ: got %d want %d keys\ngot=%v\nwant=%v",
-			len(got), len(want), got, want)
+		t.Fatalf("report counts differ: got %d want %d\ngot=%v\nwant=%v", len(got), len(want), got, want)
 	}
-	for k, v := range want {
-		if got[k] != v {
-			t.Fatalf("report %v: got %d want %d", k, got[k], v)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("report %d differs: got %+v want %+v", i, got[i], want[i])
 		}
 	}
-	return s
+	return e
 }
 
-func flatten(m map[[2]int64]int) []int {
-	var out []int
-	for _, v := range m {
-		for i := 0; i < v; i++ {
-			out = append(out, 1)
-		}
+func reportLess(a, b sim.Report) bool {
+	if a.Offset != b.Offset {
+		return a.Offset < b.Offset
 	}
-	return out
+	if a.Code != b.Code {
+		return a.Code < b.Code
+	}
+	return a.State < b.State
 }
 
-func compilePatterns(t *testing.T, patterns ...string) *automata.Automaton {
+func compilePatterns(t testing.TB, patterns ...string) *automata.Automaton {
 	t.Helper()
 	b := automata.NewBuilder()
 	for i, p := range patterns {
@@ -69,49 +81,80 @@ func compilePatterns(t *testing.T, patterns ...string) *automata.Automaton {
 
 func TestAnchoredLiterals(t *testing.T) {
 	a := compilePatterns(t, "needle", "haystack", "pin")
-	s := agree(t, a, []byte("a needle in the haystack, a pin too; needles"))
-	if s.Anchored() != 3 || s.Unanchored() != 0 {
-		t.Fatalf("anchored=%d unanchored=%d", s.Anchored(), s.Unanchored())
+	e := agree(t, a, []byte("a needle in the haystack, a pin too; needles"))
+	if e.Anchored() != 3 || e.Unanchored() != 0 {
+		t.Fatalf("anchored=%d unanchored=%d", e.Anchored(), e.Unanchored())
 	}
 }
 
 func TestLiteralPrefixWithTail(t *testing.T) {
 	// Anchor = "error" literal prefix; tail has classes and repeats.
 	a := compilePatterns(t, `error: [0-9]{2,4}`, `warn[a-z]+!`)
-	s := agree(t, a, []byte("error: 17 warning! error: 123456 warnx! error"))
-	if s.Anchored() != 2 {
-		t.Fatalf("anchored=%d", s.Anchored())
+	e := agree(t, a, []byte("error: 17 warning! error: 123456 warnx! error"))
+	if e.Anchored() != 2 {
+		t.Fatalf("anchored=%d", e.Anchored())
 	}
 }
 
 func TestShortAndClassHeadsFallBack(t *testing.T) {
-	// "ab" is below MinAnchor; "[xy]z..." has a class head.
+	// "ab" is below MinAnchor; "[xy]zzz" has a class head.
 	a := compilePatterns(t, "ab", "[xy]zzz", "longenough")
-	s := agree(t, a, []byte("ab xzzz yzzz longenough abab"))
-	if s.Anchored() != 1 || s.Unanchored() != 2 {
-		t.Fatalf("anchored=%d unanchored=%d", s.Anchored(), s.Unanchored())
+	e := agree(t, a, []byte("ab xzzz yzzz longenough abab"))
+	if e.Anchored() != 1 || e.Unanchored() != 2 {
+		t.Fatalf("anchored=%d unanchored=%d", e.Anchored(), e.Unanchored())
+	}
+}
+
+func TestMinAnchorBoundary(t *testing.T) {
+	// Exactly MinAnchor bytes anchors; one byte fewer falls back.
+	if MinAnchor != 3 {
+		t.Fatalf("test assumes MinAnchor==3, got %d", MinAnchor)
+	}
+	e := agree(t, compilePatterns(t, "abc"), []byte("xabcx abc ababc"))
+	if e.Anchored() != 1 || e.Unanchored() != 0 {
+		t.Fatalf("len-3 literal: anchored=%d unanchored=%d", e.Anchored(), e.Unanchored())
+	}
+	e = agree(t, compilePatterns(t, "ab"), []byte("xabcx abc ababc ab"))
+	if e.Anchored() != 0 || e.Unanchored() != 1 {
+		t.Fatalf("len-2 literal: anchored=%d unanchored=%d", e.Anchored(), e.Unanchored())
+	}
+}
+
+func TestAllAnchoredHasNilResidual(t *testing.T) {
+	a := compilePatterns(t, "alpha", "beta!", "gamma")
+	e := agree(t, a, []byte("alpha beta! gamma alphabet"))
+	if e.Unanchored() != 0 {
+		t.Fatalf("unanchored=%d", e.Unanchored())
+	}
+	if e.residual != nil {
+		t.Fatal("fully anchored automaton should carry no residual engine")
 	}
 }
 
 func TestOverlappingAnchorHits(t *testing.T) {
+	// Self-overlapping anchor: "aaa" occurs 4 times in "aaaaaa"... and the
+	// chain-state weights must reproduce sim's Enabled/Active exactly.
 	a := compilePatterns(t, "aaa")
-	agree(t, a, []byte("aaaaaa"))
+	e := agree(t, a, []byte("aaaaaa"))
+	if e.AnchorHits() != 4 {
+		t.Fatalf("anchor hits=%d want 4", e.AnchorHits())
+	}
 }
 
 func TestAnchorEqualsWholePattern(t *testing.T) {
 	// Reporting tail inside the literal: pattern == anchor.
 	a := compilePatterns(t, "exact")
-	s := agree(t, a, []byte("exact exact!"))
-	if s.Anchored() != 1 {
+	e := agree(t, a, []byte("exact exact!"))
+	if e.Anchored() != 1 {
 		t.Fatal("whole-literal pattern should anchor")
 	}
 }
 
 func TestAnchoredStartOfDataFallsBack(t *testing.T) {
 	a := compilePatterns(t, "^boot", "plainliteral")
-	s := agree(t, a, []byte("boot plainliteral boot"))
-	if s.Anchored() != 1 || s.Unanchored() != 1 {
-		t.Fatalf("anchored=%d unanchored=%d", s.Anchored(), s.Unanchored())
+	e := agree(t, a, []byte("boot plainliteral boot"))
+	if e.Anchored() != 1 || e.Unanchored() != 1 {
+		t.Fatalf("anchored=%d unanchored=%d", e.Anchored(), e.Unanchored())
 	}
 }
 
@@ -123,9 +166,187 @@ func TestCounterComponentsFallBack(t *testing.T) {
 	}
 	a := b.MustBuild()
 	input := []byte{3, spm.Sep, 7, spm.Sep, 7, spm.Sep, 7, spm.Sep}
-	s := agree(t, a, input)
-	if s.Anchored() != 0 {
+	e := agree(t, a, input)
+	if e.Anchored() != 0 {
 		t.Fatal("counter component must not be anchored")
+	}
+}
+
+func TestMultiStartComponentsFallBack(t *testing.T) {
+	// Hand-built component with two all-input starts converging on one
+	// reporting state: no unique entry path, must stay residual.
+	b := automata.NewBuilder()
+	s1 := b.AddSTE(charset.Single('p'), automata.StartAllInput)
+	s2 := b.AddSTE(charset.Single('q'), automata.StartAllInput)
+	mid := b.AddSTE(charset.Single('r'), automata.StartNone)
+	end := b.AddSTE(charset.Single('s'), automata.StartNone)
+	b.SetReport(end, 7)
+	b.AddEdge(s1, mid)
+	b.AddEdge(s2, mid)
+	b.AddEdge(mid, end)
+	a := b.MustBuild()
+	e := agree(t, a, []byte("prs qrs prsqrs xx"))
+	if e.Anchored() != 0 || e.Unanchored() != 1 {
+		t.Fatalf("anchored=%d unanchored=%d", e.Anchored(), e.Unanchored())
+	}
+	if e.residual == nil {
+		t.Fatal("multi-start component should live in the residual engine")
+	}
+}
+
+// TestCanonicalOrderAcrossEmitPaths pins satellite semantics: reports from
+// the anchor-tail path and the residual path landing on the same offset
+// are delivered in (code, state) order, not emit-mechanism order.
+func TestCanonicalOrderAcrossEmitPaths(t *testing.T) {
+	// "[ax]aaa" (class head → residual, code 0) and "aaaa" (anchored,
+	// code 1) both report at offset 3 of "aaaa". Residual steps after the
+	// matcher, so without the merge the code-0 report would come second.
+	a := compilePatterns(t, "[ax]aaa", "aaaa")
+	e := agree(t, a, []byte("aaaa"))
+	if e.Anchored() != 1 || e.Unanchored() != 1 {
+		t.Fatalf("anchored=%d unanchored=%d", e.Anchored(), e.Unanchored())
+	}
+	if e.AnchorHits() != 1 {
+		t.Fatalf("anchor hits=%d", e.AnchorHits())
+	}
+}
+
+// TestReportCollectionContract pins sim.Engine's collection semantics:
+// MaxReports caps the collected slice only; OnReport and Stats().Reports
+// see every report regardless.
+func TestReportCollectionContract(t *testing.T) {
+	a := compilePatterns(t, "aaa")
+	e, err := New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.CollectReports = true
+	e.MaxReports = 2
+	calls := 0
+	e.OnReport = func(sim.Report) { calls++ }
+	st := e.Run([]byte("aaaaaa")) // 4 matches
+	if st.Reports != 4 {
+		t.Fatalf("stats reports=%d want 4", st.Reports)
+	}
+	if calls != 4 {
+		t.Fatalf("OnReport calls=%d want 4", calls)
+	}
+	if len(e.Reports()) != 2 {
+		t.Fatalf("collected=%d want MaxReports=2", len(e.Reports()))
+	}
+}
+
+// TestBudgetTripSticky pins satellite semantics: RunChecked trips at a
+// prefilter.chunk boundary with a typed TripError, and the trip is sticky
+// — every later boundary returns it again without scanning.
+func TestBudgetTripSticky(t *testing.T) {
+	a := compilePatterns(t, "needle")
+	e, err := New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gov := guard.New(nil, guard.Budget{MaxInputBytes: 6000})
+	e.SetGovernor(gov)
+	input := make([]byte, 10000)
+	st, err := e.RunChecked(input)
+	trip := guard.AsTrip(err)
+	if trip == nil {
+		t.Fatalf("expected trip, got err=%v", err)
+	}
+	if trip.Budget != guard.BudgetInputBytes {
+		t.Fatalf("budget=%q", trip.Budget)
+	}
+	if trip.Site != guard.SitePrefilter {
+		t.Fatalf("site=%q want %q", trip.Site, guard.SitePrefilter)
+	}
+	// Truncated but valid: exactly the governed chunks before the trip.
+	if st.Symbols != 4096 {
+		t.Fatalf("symbols=%d want 4096 (one granted chunk)", st.Symbols)
+	}
+	if _, err2 := e.RunChecked([]byte("more")); guard.AsTrip(err2) == nil {
+		t.Fatal("trip must be sticky across calls")
+	}
+}
+
+// TestInjectedFaultAtPrefilterSite pins the -j/-segments-independent fault
+// class: a rule keyed on prefilter.chunk fires at a deterministic
+// boundary-hit count.
+func TestInjectedFaultAtPrefilterSite(t *testing.T) {
+	inj, err := guard.ParseInjector("trip:"+guard.SitePrefilter+":2", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gov := guard.New(nil, guard.Budget{})
+	gov.SetInjector(inj)
+	a := compilePatterns(t, "needle")
+	e, err := New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetGovernor(gov)
+	st, err := e.RunChecked(make([]byte, 10000))
+	trip := guard.AsTrip(err)
+	if trip == nil || !trip.Injected {
+		t.Fatalf("want injected trip, got %v", err)
+	}
+	if st.Symbols != 4096 {
+		t.Fatalf("symbols=%d want 4096 (tripped entering 2nd chunk)", st.Symbols)
+	}
+}
+
+// TestSnapshotRestoreRoundTrip drives the segment-scanner contract
+// directly: splitting a stream at an arbitrary point via
+// FrontierSnapshot/RestoreState reproduces the unsplit run's reports and
+// stats, including the Aho–Corasick position carried by the sentinel.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	a := compilePatterns(t, "abcab", `abc[0-9]+x`, "[qz]qq")
+	input := []byte("abcababcabc12x zqq abcab qqq abc9x abcabcab")
+	for cut := 1; cut < len(input); cut += 3 {
+		whole, err := New(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wantReps []sim.Report
+		whole.OnReport = func(r sim.Report) { wantReps = append(wantReps, r) }
+		wantStats := whole.Run(input)
+
+		head, err := New(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gotReps []sim.Report
+		head.OnReport = func(r sim.Report) { gotReps = append(gotReps, r) }
+		headStats := head.Run(input[:cut])
+		snap := head.FrontierSnapshot()
+
+		tail, err := New(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail.OnReport = head.OnReport
+		tail.RestoreState(&sim.StreamState{Offset: int64(cut), Frontier: snap})
+		if got := tail.FrontierSnapshot(); len(got) != len(snap) {
+			t.Fatalf("cut %d: restored snapshot differs: %v vs %v", cut, got, snap)
+		}
+		tailStats := tail.Run(input[cut:])
+
+		sum := headStats
+		sum.Symbols += tailStats.Symbols
+		sum.Enabled += tailStats.Enabled
+		sum.Active += tailStats.Active
+		sum.CounterPulses += tailStats.CounterPulses
+		sum.Reports += tailStats.Reports
+		if sum != wantStats {
+			t.Fatalf("cut %d: stats differ: split=%+v whole=%+v", cut, sum, wantStats)
+		}
+		if len(gotReps) != len(wantReps) {
+			t.Fatalf("cut %d: reports differ: %v vs %v", cut, gotReps, wantReps)
+		}
+		for i := range wantReps {
+			if gotReps[i] != wantReps[i] {
+				t.Fatalf("cut %d report %d: %+v vs %+v", cut, i, gotReps[i], wantReps[i])
+			}
+		}
 	}
 }
 
@@ -139,10 +360,10 @@ func TestClamAVEquivalenceAndAcceleration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := agree(t, a, img)
+	e := agree(t, a, img)
 	// Literal-headed hex signatures should nearly all be anchored.
-	if s.Anchored() < 250 {
-		t.Fatalf("anchored=%d of 300, expected most", s.Anchored())
+	if e.Anchored() < 250 {
+		t.Fatalf("anchored=%d of 300, expected most", e.Anchored())
 	}
 }
 
@@ -161,15 +382,15 @@ func TestYARAEquivalence(t *testing.T) {
 
 func TestEntityEquivalence(t *testing.T) {
 	// Hamming-mesh components have multiple start states → all residual;
-	// the scanner must still be exactly equivalent.
+	// the engine must still be exactly equivalent.
 	names := entity.GenerateNames(40, 3)
 	a, err := entity.Benchmark(names)
 	if err != nil {
 		t.Fatal(err)
 	}
 	stream := entity.Stream(names, 20_000, 4)
-	s := agree(t, a, stream)
-	if s.Anchored() != 0 {
-		t.Fatalf("mesh filters unexpectedly anchored: %d", s.Anchored())
+	e := agree(t, a, stream)
+	if e.Anchored() != 0 {
+		t.Fatalf("mesh filters unexpectedly anchored: %d", e.Anchored())
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"automatazoo/internal/automata"
 	"automatazoo/internal/core"
 	"automatazoo/internal/partition"
+	"automatazoo/internal/prefilter"
 	"automatazoo/internal/segment"
 	"automatazoo/internal/sim"
 	"automatazoo/internal/telemetry"
@@ -38,6 +39,12 @@ type BenchOptions struct {
 	// by name, so @seg rows gate only against their baseline twins.
 	// <= 1 records no extra rows.
 	Segments int
+	// Prefilter adds, for each selected kernel, a "<name>@pf" row timing
+	// the same sequential scan on the two-stage literal prefilter engine
+	// (internal/prefilter) — the plain row stays the baseline, and the @pf
+	// row measures the literal-anchor speedup on the same input. benchdiff
+	// matches rows by name, so @pf rows gate only against their twins.
+	Prefilter bool
 	// Timestamp is the caller-supplied provenance stamp recorded in the
 	// manifest (RFC3339, UTC recommended). Caller-supplied so artifacts
 	// can be byte-reproducible.
@@ -102,6 +109,7 @@ func Bench(opts BenchOptions) (*Manifest, error) {
 			"runs":        fmt.Sprintf("%d", opts.Runs),
 			"workers":     fmt.Sprintf("%d", opts.Workers),
 			"segments":    fmt.Sprintf("%d", opts.Segments),
+			"prefilter":   fmt.Sprintf("%t", opts.Prefilter),
 		},
 		Kernels: rows,
 		Spans:   spans.Snapshot(),
@@ -193,7 +201,60 @@ func benchKernel(b core.Benchmark, opts BenchOptions, spans *telemetry.Spans, re
 		}
 		rows = append(rows, srow)
 	}
+	if opts.Prefilter {
+		prow, err := benchPrefilter(b.Name, a, segs, inputBytes, opts, ksp, reg, clock)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, prow)
+	}
 	return rows, nil
+}
+
+// benchPrefilter times the same kernel scan on the two-stage literal
+// prefilter engine (sequential, whole-automaton — the configuration where
+// absolute numbers are comparable to the plain row). The row's Extra
+// carries the static anchored/unanchored component split and the last
+// run's anchor-hit count, so a manifest explains its own @pf speedup: a
+// kernel with pf_anchored = 0 degenerates to the plain engine plus
+// Aho–Corasick overhead, and a high pf_anchor_hits density erodes the win.
+func benchPrefilter(name string, a *automata.Automaton, segs [][]byte, inputBytes int64, opts BenchOptions, ksp *telemetry.Span, reg *telemetry.Registry, clock func() int64) (KernelRow, error) {
+	e, err := prefilter.New(a)
+	if err != nil {
+		return KernelRow{}, err
+	}
+	e.SetRegistry(reg)
+	var symbols, reports int64
+	rates := make([]float64, 0, opts.Runs)
+	for r := 0; r < opts.Runs; r++ {
+		rsp := ksp.Start("scan@pf")
+		start := clock()
+		symbols, reports = 0, 0
+		for _, seg := range segs {
+			e.Reset()
+			st := e.Run(seg)
+			symbols += st.Symbols
+			reports += st.Reports
+		}
+		elapsed := clock() - start
+		rsp.End()
+		rates = append(rates, bytesPerSec(inputBytes, elapsed)/1e6)
+	}
+	agg := AggregateOf(rates)
+	return KernelRow{
+		Name:       name + "@pf",
+		States:     a.NumStates(),
+		Runs:       opts.Runs,
+		Symbols:    symbols,
+		Reports:    reports,
+		Unit:       "MB/s",
+		Throughput: &agg,
+		Extra: map[string]float64{
+			"pf_anchored":    float64(e.Anchored()),
+			"pf_unanchored":  float64(e.Unanchored()),
+			"pf_anchor_hits": float64(e.AnchorHits()),
+		},
+	}, nil
 }
 
 // benchSegmented times the same kernel scan with each input stream split

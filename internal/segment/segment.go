@@ -111,6 +111,30 @@ func Bounds(n int64, k int) []int64 {
 	return bounds
 }
 
+// Engine is the execution contract the segment scanner drives. sim.Engine
+// (the NFA interpreter) and prefilter.Engine (the two-stage literal
+// prefilter) both satisfy it; anything implementing it gains segment
+// parallelism for free, provided it is deterministic from (frontier,
+// offset, input) — the stitch validates FrontierSnapshot equality and
+// assumes everything downstream of an equal snapshot coincides.
+type Engine interface {
+	Reset()
+	Step(b byte)
+	Run(input []byte) sim.Stats
+	RunChecked(input []byte) (sim.Stats, error)
+	Stats() sim.Stats
+	SetOnReport(fn func(sim.Report))
+	SetRegistry(r *telemetry.Registry)
+	SetTracer(t telemetry.Tracer)
+	SetGovernor(g *guard.Governor)
+	SetProgress(p *telemetry.ProgressTracker)
+	SetRecorder(rec *telemetry.FlightRecorder)
+	SetLedger(l *attr.Ledger)
+	SetOffset(off int64)
+	FrontierSnapshot() []automata.StateID
+	RestoreState(s *sim.StreamState)
+}
+
 // Options parameterizes a segment-parallel run. The zero value scans
 // sequentially (auto segment resolution over a zero-worker default).
 type Options struct {
@@ -172,6 +196,12 @@ type Options struct {
 	// Attribution's global component indices; nil uses the collector's
 	// whole-automaton map.
 	AttrCompOf []int32
+	// NewEngine, if non-nil, constructs the scan engines (master and
+	// speculative pool); nil uses the plain NFA interpreter (sim.New). The
+	// factory must be deterministic — every engine it returns must produce
+	// identical stats and report streams over identical inputs, or the
+	// stitch's byte-identity guarantee breaks.
+	NewEngine func(*automata.Automaton) (Engine, error)
 }
 
 // Stitch counts the stitch outcomes of one segmented run — the
@@ -254,7 +284,7 @@ type Runner struct {
 	specOK bool
 	warmup int
 
-	master *sim.Engine
+	master Engine
 	pool   sync.Pool
 	specs  []spec
 	forks  []*telemetry.Spans
@@ -272,8 +302,9 @@ type Runner struct {
 
 // NewRunner prepares a segmented scan of input. Resolution happens here:
 // Segments() reports the outcome, and a resolution of 1 degenerates to an
-// exact single-task sequential scan.
-func NewRunner(a *automata.Automaton, input []byte, opts Options) *Runner {
+// exact single-task sequential scan. The error is the engine factory's
+// (nil-factory sim construction cannot fail).
+func NewRunner(a *automata.Automaton, input []byte, opts Options) (*Runner, error) {
 	r := &Runner{a: a, input: input, opts: opts}
 	r.warmup = opts.Warmup
 	if r.warmup == 0 {
@@ -289,7 +320,15 @@ func NewRunner(a *automata.Automaton, input []byte, opts Options) *Runner {
 	r.specs = make([]spec, r.k)
 	r.perSeg = make([][]sim.Report, r.k)
 
-	r.master = sim.New(a)
+	newEngine := opts.NewEngine
+	if newEngine == nil {
+		newEngine = func(a *automata.Automaton) (Engine, error) { return sim.New(a), nil }
+	}
+	m, err := newEngine(a)
+	if err != nil {
+		return nil, err
+	}
+	r.master = m
 	r.master.SetRegistry(opts.Registry)
 	r.master.SetTracer(opts.Tracer)
 	r.master.SetGovernor(opts.Governor)
@@ -305,7 +344,12 @@ func NewRunner(a *automata.Automaton, input []byte, opts Options) *Runner {
 	}
 
 	r.pool.New = func() any {
-		e := sim.New(a)
+		e, err := newEngine(a)
+		if err != nil {
+			// The master above was built by the same deterministic factory
+			// and succeeded; a pooled construction cannot fail.
+			panic(err)
+		}
 		e.SetRegistry(opts.Registry)
 		e.SetGovernor(opts.Governor)
 		e.SetProgress(opts.Progress)
@@ -320,7 +364,7 @@ func NewRunner(a *automata.Automaton, input []byte, opts Options) *Runner {
 			r.forks[i] = opts.Spans.Fork()
 		}
 	}
-	return r
+	return r, nil
 }
 
 // Segments returns the resolved segment count.
@@ -362,11 +406,11 @@ func (r *Runner) scanMaster(i int) error {
 	lo, hi := r.bounds[i], r.bounds[i+1]
 	var buf []sim.Report
 	if r.collect {
-		r.master.OnReport = func(rep sim.Report) { buf = append(buf, rep) }
+		r.master.SetOnReport(func(rep sim.Report) { buf = append(buf, rep) })
 	}
 	base := r.master.Stats()
 	st, err := r.master.RunChecked(r.input[lo:hi])
-	r.master.OnReport = nil
+	r.master.SetOnReport(nil)
 	r.total = addStats(r.total, subStats(st, base))
 	r.perSeg[i] = canonReports(buf)
 	return err
@@ -375,7 +419,7 @@ func (r *Runner) scanMaster(i int) error {
 // speculate runs segment i's warmup and speculative scan on a pooled
 // engine, leaving the candidate result in r.specs[i].
 func (r *Runner) speculate(i int) error {
-	e := r.pool.Get().(*sim.Engine)
+	e := r.pool.Get().(Engine)
 	defer r.pool.Put(e)
 	e.Reset()
 	lo, hi := r.bounds[i], r.bounds[i+1]
@@ -410,7 +454,7 @@ func (r *Runner) speculate(i int) error {
 	base := e.Stats()
 	var buf []sim.Report
 	if r.collect {
-		e.OnReport = func(rep sim.Report) { buf = append(buf, rep) }
+		e.SetOnReport(func(rep sim.Report) { buf = append(buf, rep) })
 	}
 	// The scratch attribution ledger attaches here — after warmup, at the
 	// exact-stats baseline — so it records only the segment's own scan.
@@ -420,7 +464,7 @@ func (r *Runner) speculate(i int) error {
 		e.SetLedger(led)
 	}
 	st, err := e.RunChecked(r.input[lo:hi])
-	e.OnReport = nil
+	e.SetOnReport(nil)
 	e.SetLedger(nil)
 	if err != nil {
 		return err
@@ -523,8 +567,11 @@ func Run(ctx context.Context, a *automata.Automaton, input []byte, opts Options)
 	if opts.Governor == nil && ctx != nil && ctx.Done() != nil {
 		opts.Governor = guard.New(ctx, guard.Budget{})
 	}
-	r := NewRunner(a, input, opts)
-	err := parallel.ForEach(ctx, opts.Workers, r.Tasks(), r.RunTask)
+	r, err := NewRunner(a, input, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	err = parallel.ForEach(ctx, opts.Workers, r.Tasks(), r.RunTask)
 	return r.Finish(err)
 }
 

@@ -271,6 +271,15 @@ func (e *Engine) EnableProfile() *telemetry.StateProfile {
 // Profile returns the attached per-state profile, or nil.
 func (e *Engine) Profile() *telemetry.StateProfile { return e.prof }
 
+// SetOnReport sets the OnReport callback (nil detaches) — the method form
+// required by the segment scanner's engine interface, identical to
+// assigning the OnReport field.
+func (e *Engine) SetOnReport(fn func(Report)) { e.OnReport = fn }
+
+// FrontierLen returns the current enabled-frontier size (the states armed
+// for the next Step), without the copy FrontierSnapshot makes.
+func (e *Engine) FrontierLen() int { return len(e.frontier) }
+
 // SetTracer attaches an event tracer (nil detaches). The tracer receives
 // OnSymbol/OnActivate/OnReport callbacks from inside the scan loop.
 func (e *Engine) SetTracer(t telemetry.Tracer) {

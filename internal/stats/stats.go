@@ -148,6 +148,12 @@ type Hooks struct {
 	// collector's folded totals are identical at any worker or segment
 	// count.
 	Attribution *attr.Collector
+	// NewEngine, if non-nil, constructs every scan engine the observed run
+	// creates (whole-automaton, per-slice, and segment engines alike); nil
+	// uses the plain NFA interpreter (sim.New). Engines publish their work
+	// into the same sim.* registry counters regardless of implementation,
+	// so the Dynamic columns stay comparable across engines.
+	NewEngine func(*automata.Automaton) (segment.Engine, error)
 }
 
 // ObserveSegmentsHooked is ObserveSegmentsGoverned with the full live-ops
@@ -166,7 +172,15 @@ func ObserveSegmentsHooked(a *automata.Automaton, segments [][]byte, h Hooks) (D
 		h.Progress.AddTotal(total)
 	}
 	before := simCounters(reg)
-	e := sim.New(a)
+	var e segment.Engine
+	if h.NewEngine != nil {
+		var err error
+		if e, err = h.NewEngine(a); err != nil {
+			return Dynamic{}, err
+		}
+	} else {
+		e = sim.New(a)
+	}
 	e.SetRegistry(reg)
 	e.SetTracer(h.Tracer)
 	e.SetGovernor(h.Governor)
@@ -235,7 +249,7 @@ func ObserveSegmentsParallelHooked(ctx context.Context, a *automata.Automaton, s
 		res, err := plan.Run(ctx, seg, partition.RunOptions{
 			Workers: workers, Registry: h.Registry, Tracer: h.Tracer,
 			Governor: h.Governor, Progress: h.Progress, Recorder: h.Recorder,
-			Attribution: h.Attribution,
+			Attribution: h.Attribution, NewEngine: h.NewEngine,
 		})
 		if err != nil {
 			return dynamicFrom(streamSymbols, active, enabled, reports), err
@@ -307,7 +321,7 @@ func ObserveStreams(ctx context.Context, a *automata.Automaton, streams [][]byte
 			Segments: ks[i], Workers: opts.Workers,
 			Registry: opts.Registry, Tracer: opts.Tracer, Governor: opts.Governor,
 			Progress: opts.Progress, Recorder: opts.Recorder,
-			Attribution: opts.Attribution,
+			Attribution: opts.Attribution, NewEngine: opts.NewEngine,
 		})
 		stitch.Add(res.Stitch)
 		if err != nil {

@@ -1,9 +1,10 @@
 // Suite-wide `-j 1` ≡ `-j N` ≡ `-segments K` guarantee: for every
-// benchmark and both engines, the output lines `azoo run` prints must be
-// byte-identical at every worker count and every segment count. The
-// format strings and per-engine accounting below mirror cmdRun in
-// cmd/azoo/main.go exactly — if that output changes, this test must
-// change with it.
+// benchmark and all three engines, the output lines `azoo run` prints
+// must be byte-identical at every worker count and every segment count —
+// and `-engine prefilter` must print exactly the nfa engine's line at
+// every combination. The format strings and per-engine accounting below
+// mirror cmdRun in cmd/azoo/main.go exactly — if that output changes,
+// this test must change with it.
 package automatazoo_test
 
 import (
@@ -17,6 +18,7 @@ import (
 	"automatazoo/internal/dfa"
 	"automatazoo/internal/parallel"
 	"automatazoo/internal/partition"
+	"automatazoo/internal/prefilter"
 	"automatazoo/internal/segment"
 	"automatazoo/internal/stats"
 )
@@ -77,6 +79,18 @@ func TestRunOutputByteIdenticalAcrossWorkers(t *testing.T) {
 						seqNFA, v.j, v.segs, got)
 				}
 
+				// -engine prefilter: same scan paths with the two-stage
+				// engine behind the factory; the printed line must equal the
+				// nfa baseline at every (workers × segments) combination.
+				pdyn, err := prefilterDynamic(a, segs, v.j, v.segs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := nfaLine(bench.Name, a, pdyn); got != seqNFA {
+					t.Errorf("prefilter output differs:\n nfa -j 1: %q\n prefilter -j %d -segments %d: %q",
+						seqNFA, v.j, v.segs, got)
+				}
+
 				if a.NumCounters() > 0 {
 					continue
 				}
@@ -90,6 +104,25 @@ func TestRunOutputByteIdenticalAcrossWorkers(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// prefilterDynamic mirrors cmdRun's -engine prefilter dispatch: the same
+// ObserveStreams / ObserveSegmentsParallelHooked / ObserveSegmentsHooked
+// paths, with the prefilter factory in the hooks.
+func prefilterDynamic(a *automata.Automaton, segs [][]byte, workers, segments int) (stats.Dynamic, error) {
+	h := stats.Hooks{NewEngine: func(sub *automata.Automaton) (segment.Engine, error) {
+		return prefilter.New(sub)
+	}}
+	switch {
+	case segments > 1:
+		dyn, _, err := stats.ObserveStreams(context.Background(), a, segs,
+			stats.StreamOptions{Workers: workers, Segments: segments, Hooks: h})
+		return dyn, err
+	case workers > 1:
+		return stats.ObserveSegmentsParallelHooked(context.Background(), a, segs, workers, h)
+	default:
+		return stats.ObserveSegmentsHooked(a, segs, h)
 	}
 }
 
