@@ -25,9 +25,9 @@ BENCHDIFF_CI_INPUT ?= 100000
 BENCHDIFF_CI_THRESHOLD ?= 40%
 BENCHDIFF_CI_SEGMENTS ?= 4
 
-.PHONY: ci build vet fmt-check test race race-parallel allocguard prometheus-golden explain-golden fuzz-short fault-soak difftest-soak bench bench-engines bench-parallel bench-segments bench-prefilter bench-snapshot benchdiff benchdiff-ci clean
+.PHONY: ci build vet fmt-check test race race-parallel allocguard prometheus-golden explain-golden fuzz-short fault-soak crash-soak difftest-soak bench bench-engines bench-parallel bench-segments bench-prefilter bench-snapshot benchdiff benchdiff-ci clean
 
-ci: vet fmt-check build test race-parallel race allocguard prometheus-golden explain-golden fuzz-short fault-soak benchdiff-ci
+ci: vet fmt-check build test race-parallel race allocguard prometheus-golden explain-golden fuzz-short fault-soak crash-soak benchdiff-ci
 
 build:
 	$(GO) build ./...
@@ -59,7 +59,7 @@ race-parallel:
 # Guard the disabled-telemetry fast path: sim.Engine.Run must stay
 # allocation-free with no tracer/profile/registry attached, and both
 # engines' RunChecked must collapse to it with no governor, progress
-# tracker, or flight recorder installed.
+# tracker, flight recorder, or checkpointer installed.
 allocguard:
 	$(GO) test -run 'TestNilTelemetryZeroAllocs|TestDisabledLiveTelemetryZeroAllocs' -count=1 -v ./internal/sim/ ./internal/dfa/ ./internal/prefilter/
 
@@ -96,6 +96,15 @@ fuzz-short:
 fault-soak:
 	AZOO_SOAK_SEEDS=200 $(GO) test -run 'TestFaultSoak' -count=1 ./internal/guard/
 	$(GO) run ./cmd/azoo difftest -seeds 200 -pair sim-dfa -force-fallback
+
+# Crash-recovery acceptance gate: 200 seeded trials of the
+# straight-vs-resumed oracle. Each trial checkpoints a scan, kills it at
+# a seed-drawn save point (crash:ckpt.save fault), resumes from the
+# durable checkpoint, and requires the stitched run to match an
+# uninterrupted reference exactly — reports, engine stats, telemetry
+# registry, and attribution — across the j × segments × engine matrix.
+crash-soak:
+	$(GO) run ./cmd/azoo difftest -seeds 200 -pair straight-vs-resumed
 
 # Long cross-engine soak (the acceptance gate for engine changes):
 # 500 seeded trials through every comparable engine pair.

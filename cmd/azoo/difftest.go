@@ -22,7 +22,7 @@ func cmdDifftest(args []string) error {
 	states := fs.Int("states", 12, "STE states per generated automaton")
 	inputLen := fs.Int("input", 512, "input bytes per trial")
 	seed := fs.Uint64("seed", 1, "base seed (trial i uses seed+i)")
-	pair := fs.String("pair", "", "restrict to one pair: sim-dfa, sim-compressed, sim-bitnfa, or seq-segmented (default all)")
+	pair := fs.String("pair", "", "restrict to one pair: "+strings.Join(difftest.AllPairs, ", ")+" (default all)")
 	forceFallback := fs.Bool("force-fallback", false, "run the sim-dfa pair with every DFA component degraded to NFA stepping (pins the graceful-degradation contract)")
 	jsonOut := fs.Bool("json", false, "write the JSON soak report to stdout")
 	fs.Parse(args)

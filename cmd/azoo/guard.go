@@ -122,6 +122,7 @@ func armGovernor(sess *obsSession, gf *guardFlags) error {
 	}
 	sess.setGovernor(gov)
 	sess.armWatchdog()
+	sess.armSignals(false)
 	return nil
 }
 

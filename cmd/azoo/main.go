@@ -6,7 +6,8 @@
 //
 //	azoo list
 //	azoo stats  -bench "Snort" [-scale 0.05] [-input 200000] [-compress]
-//	azoo run    -bench "ClamAV" [-scale 0.05] [-input 200000] [-engine nfa|dfa|prefilter] [-j N] [-segments K]
+//	azoo run    -bench "ClamAV" [-scale 0.05] [-input 200000] [-engine nfa|dfa|prefilter] [-j N] [-segments K] [-checkpoint file [-checkpoint-interval N]]
+//	azoo resume [-report out.json] [...telemetry/governor flags] <checkpoint-file>
 //	azoo explain -bench "Snort" [-engine nfa|dfa|prefilter] [-top 10] [-json] [-j N] [-segments K]
 //	azoo profile snort [-top 20] [-trace out.ndjson] [-metrics out.json]
 //	azoo table1 [-scale 0.05] [-input 200000] [-compress] [-engine nfa|prefilter] [-j N] [-segments K]
@@ -33,6 +34,19 @@
 // the run and dumps a flight-recorder postmortem when a kernel stops
 // heartbeating; -postmortem <file> overrides the dump path (default
 // <report>.postmortem.ndjson). See EXPERIMENTS.md ("Live ops").
+//
+// Crash safety: run -checkpoint persists a durable, checksummed
+// checkpoint of the scan (engine continuation, report cursor, metrics,
+// attribution, budget remainder) every -checkpoint-interval bytes and on
+// graceful drains; azoo resume restores it and finishes the run with
+// stdout, manifests, and attribution byte-identical to an uninterrupted
+// run (nfa/prefilter engines; dfa resumes exactly but re-warms its cache
+// from cold). SIGINT/SIGTERM on a checkpointed or telemetry-active run
+// trip the governor's graceful drain: engines stop at their next chunk
+// boundary, a final checkpoint and postmortem are saved, the truncated
+// manifest is written, and the process exits 3 (truncated) — a second
+// signal forces immediate exit. See EXPERIMENTS.md ("Surviving a
+// kill -9").
 //
 // The -j flag sets the worker count of the parallel execution layer
 // (internal/parallel): -j 1 reproduces the single-threaded behaviour
@@ -100,6 +114,8 @@ func run() (code int) {
 		err = cmdStats(args)
 	case "run":
 		err = cmdRun(args)
+	case "resume":
+		err = cmdResume(args)
 	case "explain":
 		err = cmdExplain(args)
 	case "profile":
@@ -145,6 +161,7 @@ commands:
   list         list the suite's benchmarks
   stats        Table-I statistics for one benchmark
   run          run a benchmark's standard input through an engine
+  resume       continue an interrupted "run -checkpoint" from its checkpoint file
   explain      per-pattern cost attribution (top-K offenders, text or -json)
   profile      per-state activation heatmap of a benchmark run
   table1       regenerate Table I (suite statistics)
@@ -231,6 +248,7 @@ func cmdRun(args []string) error {
 	segments := segmentsFlag(fs)
 	tf := telemetryFlags(fs)
 	gf := governorFlags(fs)
+	cf := checkpointFlags(fs)
 	fs.Parse(args)
 	b, err := resolveBenchmark(*name)
 	if err != nil {
@@ -242,6 +260,11 @@ func cmdRun(args []string) error {
 	}
 	if err := armGovernor(sess, gf); err != nil {
 		return err
+	}
+	if cf.armed() {
+		// Checkpointed scans always drain gracefully on SIGINT/SIGTERM —
+		// the final save needs a governor to stop the engines cooperatively.
+		sess.armSignals(true)
 	}
 	cfg := core.Config{Scale: *scale, InputBytes: *input, Seed: *seed}
 	bsp := sess.spanSet().Start("build")
@@ -288,7 +311,10 @@ func cmdRun(args []string) error {
 				return err
 			}
 		}
-		if *workers == 1 || anySegmented(segs, *segments, *workers) {
+		if cf.armed() {
+			meta := ckptMeta("run", b, *engine, *scale, *input, *seed, *workers, *segments, *cf.interval)
+			dyn, stitch, err = runCheckpointedScan(sess, cf.saver(sess), meta, a, segs, h, *workers, *segments, nil)
+		} else if *workers == 1 || anySegmented(segs, *segments, *workers) {
 			// ObserveStreams delegates to the exact historical sequential
 			// path when every stream resolves to one segment.
 			dyn, stitch, err = stats.ObserveStreams(context.Background(), a, segs, stats.StreamOptions{
@@ -316,19 +342,25 @@ func cmdRun(args []string) error {
 		if pfExtra != nil {
 			pfExtra(&row)
 		}
-		fmt.Printf("%s: %d states, %d symbols, %d reports (%.6f/sym), active set %.2f\n",
-			b.Name, a.NumStates(), dyn.Symbols, dyn.Reports,
-			dyn.ReportRate, dyn.ActiveSet)
+		printRunNFA(b.Name, a.NumStates(), dyn)
 	case "dfa":
 		var symbols, reports int64
 		var st dfa.Stats
-		pt := sess.tracker(b.Name)
-		if *workers == 1 {
-			symbols, reports, st, err = runDFAWhole(a, segs, *segments, sess, pt, col)
+		if cf.armed() {
+			if *workers != 1 {
+				return usageErrorf("-checkpoint with -engine dfa requires -j 1 (the checkpoint holds one engine's frontier)")
+			}
+			meta := ckptMeta("run", b, *engine, *scale, *input, *seed, *workers, *segments, *cf.interval)
+			symbols, reports, st, err = runCheckpointedDFA(sess, cf.saver(sess), meta, a, segs, col, nil)
 		} else {
-			symbols, reports, st, err = runDFAParallel(a, segs, *workers, *segments, sess, pt, col)
+			pt := sess.tracker(b.Name)
+			if *workers == 1 {
+				symbols, reports, st, err = runDFAWhole(a, segs, *segments, sess, pt, col)
+			} else {
+				symbols, reports, st, err = runDFAParallel(a, segs, *workers, *segments, sess, pt, col)
+			}
+			pt.Done()
 		}
-		pt.Done()
 		ssp.End()
 		if err != nil {
 			row.Symbols, row.Reports = symbols, reports
@@ -338,10 +370,7 @@ func cmdRun(args []string) error {
 		}
 		row.Symbols, row.Reports = symbols, reports
 		row.HasCache, row.CacheHitRate, row.CacheEvictRate = true, st.HitRate(), st.EvictionRate()
-		fmt.Printf("%s: %d states, %d symbols, %d reports, %d DFA states, %d fallbacks\n",
-			b.Name, a.NumStates(), symbols, reports, st.DFAStates, st.Fallbacks)
-		fmt.Printf("transition cache: %.2f%% hit rate, %.4f evictions/lookup\n",
-			st.HitRate()*100, st.EvictionRate())
+		printRunDFA(b.Name, a.NumStates(), symbols, reports, st)
 	default:
 		return usageErrorf("unknown engine %q", *engine)
 	}

@@ -1,19 +1,24 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
+	"automatazoo/internal/atomicio"
 	"automatazoo/internal/attr"
 	"automatazoo/internal/experiments"
 	"automatazoo/internal/guard"
@@ -66,6 +71,7 @@ type obsSession struct {
 	prog       *telemetry.Progress
 	rec        *telemetry.FlightRecorder
 	watchdog   *telemetry.Watchdog
+	sigStop    func()
 	tickStop   chan struct{}
 	tickDone   chan struct{}
 	stallAfter time.Duration
@@ -194,6 +200,47 @@ func (s *obsSession) armWatchdog() {
 	s.watchdog.Start()
 }
 
+// armSignals routes SIGINT/SIGTERM through the governor's graceful-drain
+// path: the first signal trips the governor, engines stop at their next
+// chunk boundary, and the command's trip handling writes the final
+// checkpoint, the postmortem, and the truncated manifest before exiting
+// 3 (truncated); a second signal forces immediate exit. Armed when the
+// run has something to drain into — an active governor or telemetry
+// session — or unconditionally with force (checkpointed scans and
+// resume). Idempotent; Close stops the handler.
+func (s *obsSession) armSignals(force bool) {
+	if s == nil || s.sigStop != nil {
+		return
+	}
+	if !force && s.gov == nil && s.reg == nil {
+		return
+	}
+	if s.gov == nil {
+		s.gov = guard.New(context.Background(), guard.Budget{})
+	}
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(os.Stderr, "azoo: received %v; draining at the next chunk boundary (second signal forces exit)\n", sig)
+			s.gov.TripSignaled(sig.String())
+			select {
+			case sig2 := <-ch:
+				fmt.Fprintf(os.Stderr, "azoo: received %v again; forcing exit\n", sig2)
+				os.Exit(exitTruncated)
+			case <-done:
+			}
+		case <-done:
+		}
+	}()
+	s.sigStop = func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}
+
 // writePostmortem dumps the flight recorder, the live registry snapshot,
 // and (for stalls and panics) the captured goroutine stacks to the
 // postmortem NDJSON file. At most one postmortem is written per session;
@@ -203,34 +250,36 @@ func (s *obsSession) writePostmortem(reason string, stall *telemetry.StallReport
 		return
 	}
 	s.pmOnce.Do(func() {
-		f, err := os.Create(s.pmPath)
+		// Atomic (write-temp + rename): a crash mid-dump leaves no
+		// truncated-but-parseable postmortem behind.
+		err := atomicio.WriteFile(s.pmPath, func(f io.Writer) error {
+			fmt.Fprintf(f, "{\"ev\":\"postmortem\",\"schema\":1,\"reason\":%q}\n", reason)
+			if s.rec != nil {
+				if err := s.rec.WriteNDJSON(f); err != nil {
+					return err
+				}
+			}
+			if s.reg != nil {
+				snap, err := json.Marshal(s.reg.Snapshot())
+				if err == nil {
+					fmt.Fprintf(f, "{\"ev\":\"registry\",\"snapshot\":%s}\n", snap)
+				}
+			}
+			if stall != nil {
+				fmt.Fprintf(f, "{\"ev\":\"stall\",\"component\":%q,\"quiet_nanos\":%d}\n",
+					stall.Component, stall.QuietNanos)
+				stacks, _ := json.Marshal(string(stall.Stacks))
+				fmt.Fprintf(f, "{\"ev\":\"stacks\",\"stacks\":%s}\n", stacks)
+			}
+			if panicStack != nil {
+				stacks, _ := json.Marshal(string(panicStack))
+				fmt.Fprintf(f, "{\"ev\":\"panic_stack\",\"stacks\":%s}\n", stacks)
+			}
+			return nil
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "azoo: postmortem:", err)
 			return
-		}
-		defer f.Close()
-		fmt.Fprintf(f, "{\"ev\":\"postmortem\",\"schema\":1,\"reason\":%q}\n", reason)
-		if s.rec != nil {
-			if err := s.rec.WriteNDJSON(f); err != nil {
-				fmt.Fprintln(os.Stderr, "azoo: postmortem:", err)
-				return
-			}
-		}
-		if s.reg != nil {
-			snap, err := json.Marshal(s.reg.Snapshot())
-			if err == nil {
-				fmt.Fprintf(f, "{\"ev\":\"registry\",\"snapshot\":%s}\n", snap)
-			}
-		}
-		if stall != nil {
-			fmt.Fprintf(f, "{\"ev\":\"stall\",\"component\":%q,\"quiet_nanos\":%d}\n",
-				stall.Component, stall.QuietNanos)
-			stacks, _ := json.Marshal(string(stall.Stacks))
-			fmt.Fprintf(f, "{\"ev\":\"stacks\",\"stacks\":%s}\n", stacks)
-		}
-		if panicStack != nil {
-			stacks, _ := json.Marshal(string(panicStack))
-			fmt.Fprintf(f, "{\"ev\":\"panic_stack\",\"stacks\":%s}\n", stacks)
 		}
 		s.pmWritten.Store(true)
 		fmt.Fprintf(os.Stderr, "azoo: wrote postmortem to %s\n", s.pmPath)
@@ -389,6 +438,10 @@ func (s *obsSession) Close() error {
 		s.watchdog.Stop()
 		s.watchdog = nil
 	}
+	if s.sigStop != nil {
+		s.sigStop()
+		s.sigStop = nil
+	}
 	if s.tickStop != nil {
 		close(s.tickStop)
 		<-s.tickDone
@@ -407,14 +460,7 @@ func (s *obsSession) Close() error {
 		}
 	}
 	if s.metricsPath != "" && s.reg != nil {
-		f, err := os.Create(s.metricsPath)
-		if err == nil {
-			err = s.reg.WriteJSON(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil && first == nil {
+		if err := atomicio.WriteFile(s.metricsPath, s.reg.WriteJSON); err != nil && first == nil {
 			first = err
 		}
 	}

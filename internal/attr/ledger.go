@@ -1,6 +1,7 @@
 package attr
 
 import (
+	"fmt"
 	"sync"
 
 	"automatazoo/internal/automata"
@@ -172,6 +173,57 @@ func (c *Collector) commit(d *ledgerData) {
 	c.mu.Lock()
 	c.tot.add(d)
 	c.mu.Unlock()
+}
+
+// Totals is the serializable snapshot of a collector's accumulated
+// per-component costs and per-pattern reports — the checkpoint codec
+// persists it so a resumed run's attribution output equals the
+// uninterrupted run's. Slices are indexed like ledgerData (components;
+// reports has one extra unattributed slot).
+type Totals struct {
+	Bytes   []int64 `json:"bytes"`
+	Work    []int64 `json:"work"`
+	Cache   []int64 `json:"cache"`
+	Evict   []int64 `json:"evict"`
+	Fall    []int64 `json:"fall"`
+	Reports []int64 `json:"reports"`
+}
+
+// Totals copies the committed totals. Ledgers not yet committed are not
+// included — checkpoint savers commit their engines' ledgers first.
+func (c *Collector) Totals() Totals {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Totals{
+		Bytes:   append([]int64(nil), c.tot.bytes...),
+		Work:    append([]int64(nil), c.tot.work...),
+		Cache:   append([]int64(nil), c.tot.cache...),
+		Evict:   append([]int64(nil), c.tot.evict...),
+		Fall:    append([]int64(nil), c.tot.fall...),
+		Reports: append([]int64(nil), c.tot.reports...),
+	}
+}
+
+// RestoreTotals replaces the committed totals with a snapshot taken by
+// Totals on a collector of the same shape (same automaton and
+// provenance). It errors, changing nothing, when the shapes disagree —
+// the snapshot came from a different build.
+func (c *Collector) RestoreTotals(t Totals) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(t.Bytes) != len(c.tot.bytes) || len(t.Work) != len(c.tot.work) ||
+		len(t.Cache) != len(c.tot.cache) || len(t.Evict) != len(c.tot.evict) ||
+		len(t.Fall) != len(c.tot.fall) || len(t.Reports) != len(c.tot.reports) {
+		return fmt.Errorf("attr: RestoreTotals: shape mismatch (%d/%d components, %d/%d report slots)",
+			len(t.Bytes), len(c.tot.bytes), len(t.Reports), len(c.tot.reports))
+	}
+	copy(c.tot.bytes, t.Bytes)
+	copy(c.tot.work, t.Work)
+	copy(c.tot.cache, t.Cache)
+	copy(c.tot.evict, t.Evict)
+	copy(c.tot.fall, t.Fall)
+	copy(c.tot.reports, t.Reports)
+	return nil
 }
 
 // Ledger is the engine-facing scratch buffer. Engines call the hot-path

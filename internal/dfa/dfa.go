@@ -204,6 +204,20 @@ type Engine struct {
 	// component's global attribution slot.
 	led     *attr.Ledger
 	ledSlot []int32
+
+	// ckpt, when attached, is offered the stream at every chunk boundary
+	// so it can persist a checkpoint (internal/ckpt). Nil-guarded like the
+	// live-ops hooks; the disabled path stays allocation-free.
+	ckpt Checkpointer
+}
+
+// Checkpointer is the durable-checkpoint hook: RunChecked calls Boundary
+// with the chunk's byte count after each chunk completes. A returned
+// error stops the run like a governor trip. (Declared locally —
+// structurally identical to sim.Checkpointer — so dfa keeps its import
+// graph free of sim.)
+type Checkpointer interface {
+	Boundary(n int64) error
 }
 
 // Options tune the engine's internal strategies; the zero value is the
@@ -525,6 +539,24 @@ func (e *Engine) SetProgress(t *telemetry.ProgressTracker) {
 // for postmortem dumps.
 func (e *Engine) SetRecorder(r *telemetry.FlightRecorder) { e.rec = r }
 
+// SetCheckpointer attaches a durable-checkpoint hook (nil detaches):
+// RunChecked offers it the stream after every chunk. Bare Run calls skip
+// it, like the governor.
+func (e *Engine) SetCheckpointer(c Checkpointer) { e.ckpt = c }
+
+// FlushTelemetry publishes statistics and cache-byte levels accumulated
+// since the last flush to the attached registry and ledger, so a
+// mid-stream snapshot (checkpoint save) reflects every byte scanned so
+// far.
+func (e *Engine) FlushTelemetry() {
+	if e.reg != nil {
+		e.flushStats()
+	}
+	if e.led != nil {
+		e.flushLedger()
+	}
+}
+
 // SetLedger attaches a cost-attribution ledger (nil detaches). The
 // ledger's compOf map must cover this engine's (possibly slice-local)
 // state IDs; each component's global attribution slot is resolved once
@@ -694,7 +726,7 @@ const govChunk = 4096
 // tracker and flight recorder. With no governor, progress, or recorder
 // attached it is exactly Run.
 func (e *Engine) RunChecked(input []byte) (Stats, error) {
-	if e.gov == nil && e.prog == nil && e.rec == nil {
+	if e.gov == nil && e.prog == nil && e.rec == nil && e.ckpt == nil {
 		return e.Run(input), nil
 	}
 	sp := e.spans.Start("dfa.run")
@@ -727,6 +759,11 @@ func (e *Engine) RunChecked(input []byte) (Stats, error) {
 			if d := int64(e.stats.Fallbacks) - e.progFallbacks; d != 0 {
 				e.prog.AddFallbacks(d)
 				e.progFallbacks = int64(e.stats.Fallbacks)
+			}
+		}
+		if e.ckpt != nil && err == nil {
+			if err = e.ckpt.Boundary(n); err != nil {
+				break
 			}
 		}
 	}

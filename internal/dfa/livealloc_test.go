@@ -3,9 +3,9 @@ package dfa
 import "testing"
 
 // TestDisabledLiveTelemetryZeroAllocs: with no governor, progress
-// tracker, flight recorder, or attribution ledger attached, the DFA
-// engine's RunChecked must reduce to the exact Run fast path and stay
-// allocation-free once the transition cache is warm.
+// tracker, flight recorder, attribution ledger, or checkpointer
+// attached, the DFA engine's RunChecked must reduce to the exact Run
+// fast path and stay allocation-free once the transition cache is warm.
 func TestDisabledLiveTelemetryZeroAllocs(t *testing.T) {
 	a := compile(t, "abc", "bca")
 	e, err := New(a)
@@ -16,6 +16,7 @@ func TestDisabledLiveTelemetryZeroAllocs(t *testing.T) {
 	e.SetProgress(nil)
 	e.SetRecorder(nil)
 	e.SetLedger(nil)
+	e.SetCheckpointer(nil)
 	input := []byte("xxabcxxabcabcxaxbxcabxcabcbcabca")
 	e.Reset()
 	if _, err := e.RunChecked(input); err != nil {

@@ -1,21 +1,23 @@
 package difftest
 
 import (
+	"automatazoo/internal/ckpt"
 	"automatazoo/internal/dfa"
 	"automatazoo/internal/randx"
 )
 
 // Pair names for SoakConfig.Pairs and Divergence.Pair.
 const (
-	PairSimDFA         = "sim-dfa"
-	PairSimCompressed  = "sim-compressed"
-	PairSimBitNFA      = "sim-bitnfa"
-	PairSeqVsSegmented = "seq-segmented"
-	PairSimVsPrefilter = "seq-prefilter"
+	PairSimDFA            = "sim-dfa"
+	PairSimCompressed     = "sim-compressed"
+	PairSimBitNFA         = "sim-bitnfa"
+	PairSeqVsSegmented    = "seq-segmented"
+	PairSimVsPrefilter    = "seq-prefilter"
+	PairStraightVsResumed = "straight-vs-resumed"
 )
 
 // AllPairs lists every oracle pair in canonical order.
-var AllPairs = []string{PairSimDFA, PairSimCompressed, PairSimBitNFA, PairSeqVsSegmented, PairSimVsPrefilter}
+var AllPairs = []string{PairSimDFA, PairSimCompressed, PairSimBitNFA, PairSeqVsSegmented, PairSimVsPrefilter, PairStraightVsResumed}
 
 // SoakConfig parameterizes a soak run.
 type SoakConfig struct {
@@ -184,6 +186,28 @@ func Soak(cfg SoakConfig) SoakResult {
 			ac := Generate(rng.Fork(), cfgCtr)
 			inputC := GenInput(rng.Fork(), cfgCtr, cfg.InputLen)
 			record(PairSimVsPrefilter, seed, len(simEvents(ac, inputC)), SimVsPrefilter(ac, inputC))
+		}
+
+		// Appended last (same seed-stability rule). One trial per seed:
+		// a checkpointed scan killed at seed-chosen save points and
+		// resumed must reproduce the uninterrupted run's report sequence,
+		// stats, and registry exactly. The (workers, segments) shape and
+		// the engine (sim / prefilter) rotate with the trial index so
+		// both the sequential Checkpointer seam and the chunked
+		// segment-parallel save path soak at every execution shape; the
+		// input spans several checkpoint intervals so kills land mid-
+		// stream, not trivially before the first save.
+		if want[PairStraightVsResumed] {
+			combos := [4][2]int{{1, 1}, {4, 1}, {1, 4}, {4, 4}}
+			wk, sg := combos[i%4][0], combos[i%4][1]
+			usePrefilter := i%2 == 1
+			interval := int64(ckpt.ChunkAlign) * int64(1+i%2)
+			cfgRes := GenConfig{States: cfg.States, Counters: i % 3}
+			a := Generate(rng.Fork(), cfgRes)
+			n := 6*ckpt.ChunkAlign + 512 + 256*(i%5)
+			input := GenInput(rng.Fork(), cfgRes, n)
+			record(PairStraightVsResumed, seed, len(simEvents(a, input)),
+				StraightVsResumed(a, input, wk, sg, usePrefilter, interval, seed))
 		}
 	}
 	return res

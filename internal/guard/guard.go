@@ -67,6 +67,15 @@ const (
 	BudgetActiveSet  = "active-set"
 	BudgetInjected   = "injected"
 	BudgetStalled    = "stalled"
+	// BudgetSignaled marks a trip forced by SIGINT/SIGTERM: the CLI's
+	// signal handler routes delivery through TripSignaled so engines drain
+	// at the next chunk boundary and the run closes like any other
+	// truncation (postmortem, truncated manifest, exit code 3).
+	BudgetSignaled = "signaled"
+	// BudgetCrashed marks an injected process death (the `crash:` fault
+	// kind): the checkpoint saver aborts *instead of* completing the save,
+	// simulating kill -9 at a save boundary for the crash-soak harness.
+	BudgetCrashed = "crashed"
 )
 
 // Boundary site names. Engines and harnesses pass these to Boundary /
@@ -91,6 +100,14 @@ const (
 	// every prefilter engine (master, speculative, per-slice) checks in
 	// here.
 	SitePrefilter = "prefilter.chunk"
+	// SiteCkptSave is the checkpoint saver's boundary, hit once per
+	// attempted save. `crash:ckpt.save:~N` rules abort the process-visible
+	// run there *without* writing, simulating a kill at a save point.
+	SiteCkptSave = "ckpt.save"
+	// SiteCkptWrite is the checkpoint saver's I/O site: `ioerr:` rules
+	// matched here (via InjectIO) fail individual write attempts to
+	// exercise the retry/backoff and sticky-disable paths.
+	SiteCkptWrite = "ckpt.write"
 )
 
 // TripError is the structured error for a tripped budget: which budget,
@@ -128,6 +145,10 @@ func (e *TripError) Error() string {
 		return fmt.Sprintf("guard: injected budget trip%s", at)
 	case BudgetStalled:
 		return fmt.Sprintf("guard: run stalled (no heartbeat for %v)%s%s", time.Duration(e.Actual), at, inj)
+	case BudgetSignaled:
+		return fmt.Sprintf("guard: run interrupted by signal%s%s", at, inj)
+	case BudgetCrashed:
+		return fmt.Sprintf("guard: injected crash%s", at)
 	default:
 		return fmt.Sprintf("guard: %s budget exceeded (limit %d, got %d)%s%s", e.Budget, e.Limit, e.Actual, at, inj)
 	}
@@ -238,6 +259,44 @@ func (g *Governor) TripStalled(site string, quiet time.Duration) *TripError {
 	})
 }
 
+// TripSignaled records a delivered SIGINT/SIGTERM as the sticky trip:
+// every engine drains at its next chunk boundary and the run closes as a
+// truncation. Returns the winning trip (which may be an earlier one).
+// Nil-receiver safe.
+func (g *Governor) TripSignaled(sig string) *TripError {
+	if g == nil {
+		return nil
+	}
+	return g.record(&TripError{Budget: BudgetSignaled, Site: sig})
+}
+
+// Remaining returns the budget left after the run so far: input bytes
+// already consumed are subtracted (clamped to 1 so an exhausted-but-
+// untripped budget still resumes governed rather than unlimited), and
+// the wall-clock timeout shrinks to the time left on the deadline.
+// Cache and active-set budgets are levels, not flows, so they carry over
+// unchanged. A resumed run armed with Remaining() observes the same
+// overall ceiling as the uninterrupted run.
+func (g *Governor) Remaining() Budget {
+	if g == nil {
+		return Budget{}
+	}
+	b := g.budget
+	if b.MaxInputBytes > 0 {
+		b.MaxInputBytes -= g.input.Load()
+		if b.MaxInputBytes < 1 {
+			b.MaxInputBytes = 1
+		}
+	}
+	if b.Timeout > 0 {
+		b.Timeout = time.Until(g.deadline)
+		if b.Timeout < time.Nanosecond {
+			b.Timeout = time.Nanosecond
+		}
+	}
+	return b
+}
+
 // stallHere blocks the calling goroutine at site until the governor
 // trips — by the stall watchdog (TripStalled), the deadline, or context
 // cancellation — and returns the winning trip. It simulates a hung
@@ -303,6 +362,17 @@ func (g *Governor) Inject(site string) error {
 		return t
 	}
 	return nil
+}
+
+// InjectIO fires the fault injector's `ioerr:` rules for site and
+// reports whether an I/O fault should be simulated. Unlike Inject, a
+// firing rule does not trip the run: I/O faults model transient write
+// failures the caller retries or degrades around.
+func (g *Governor) InjectIO(site string) bool {
+	if g == nil {
+		return false
+	}
+	return g.inj.FireIO(site)
 }
 
 // Boundary is the per-chunk cooperative checkpoint: fault injection,

@@ -55,6 +55,15 @@ const (
 	// (stall watchdog, deadline, or cancellation) — a deterministic hung
 	// worker for exercising the watchdog path.
 	FaultStall = "stall"
+	// FaultCrash simulates process death at a save boundary: the rule
+	// returns a BudgetCrashed trip that the checkpoint saver honors by
+	// aborting *before* writing, so on-disk state is exactly what a kill
+	// -9 at that instant would leave.
+	FaultCrash = "crash"
+	// FaultIOErr simulates a transient I/O failure. Rules of this kind are
+	// invisible to fire()/Boundary — they fire only through FireIO, so a
+	// failed write attempt never trips the run.
+	FaultIOErr = "ioerr"
 )
 
 // InjectedPanic is the panic value used by the panic fault kind; the
@@ -88,9 +97,9 @@ func ParseInjector(spec string, seed uint64) (*Injector, error) {
 		}
 		kind, site := parts[0], parts[1]
 		switch kind {
-		case FaultPanic, FaultDeadline, FaultTrip, FaultStall:
+		case FaultPanic, FaultDeadline, FaultTrip, FaultStall, FaultCrash, FaultIOErr:
 		default:
-			return nil, fmt.Errorf("guard: bad fault kind %q in rule %q (want panic, deadline, trip, or stall)", kind, raw)
+			return nil, fmt.Errorf("guard: bad fault kind %q in rule %q (want panic, deadline, trip, stall, crash, or ioerr)", kind, raw)
 		}
 		if site == "" {
 			return nil, fmt.Errorf("guard: empty site in fault rule %q", raw)
@@ -157,6 +166,11 @@ func (inj *Injector) fire(site string) (t *TripError, stalled bool) {
 	}
 	for i := range inj.rules {
 		r := &inj.rules[i]
+		if r.kind == FaultIOErr {
+			// I/O rules have their own hit stream (FireIO); a Boundary at
+			// the same site must not consume their counters.
+			continue
+		}
 		if r.site != "*" && r.site != site {
 			continue
 		}
@@ -173,9 +187,35 @@ func (inj *Injector) fire(site string) (t *TripError, stalled bool) {
 			return &TripError{Budget: BudgetInjected, Site: site, Injected: true}, false
 		case FaultStall:
 			return nil, true
+		case FaultCrash:
+			return &TripError{Budget: BudgetCrashed, Site: site, Injected: true}, false
 		}
 	}
 	return nil, false
+}
+
+// FireIO checks only `ioerr:` rules against site and reports whether one
+// fired on this hit. Each rule fires exactly once, on its at-th matching
+// hit, like every other rule — callers that need repeated failures arm
+// multiple rules (e.g. "ioerr:ckpt.write:1,ioerr:ckpt.write:2").
+func (inj *Injector) FireIO(site string) bool {
+	if inj == nil {
+		return false
+	}
+	fired := false
+	for i := range inj.rules {
+		r := &inj.rules[i]
+		if r.kind != FaultIOErr {
+			continue
+		}
+		if r.site != "*" && r.site != site {
+			continue
+		}
+		if r.hits.Add(1) == r.at {
+			fired = true
+		}
+	}
+	return fired
 }
 
 func splitmix64(x uint64) uint64 {

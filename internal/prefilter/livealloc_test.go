@@ -26,15 +26,16 @@ func prefilterWorkload(t testing.TB) (*Engine, []byte) {
 
 // TestDisabledLiveTelemetryZeroAllocs guards the two-stage engine's
 // disabled path: with no registry, tracer, governor, progress tracker,
-// flight recorder, or ledger attached, RunChecked must reduce to the Run
-// fast path and stay allocation-free once warm — including the per-offset
-// report merge and the anchor-hit callback.
+// flight recorder, ledger, or checkpointer attached, RunChecked must
+// reduce to the Run fast path and stay allocation-free once warm —
+// including the per-offset report merge and the anchor-hit callback.
 func TestDisabledLiveTelemetryZeroAllocs(t *testing.T) {
 	e, input := prefilterWorkload(t)
 	e.SetGovernor(nil)
 	e.SetProgress(nil)
 	e.SetRecorder(nil)
 	e.SetLedger(nil)
+	e.SetCheckpointer(nil)
 	e.OnReport = func(sim.Report) {}
 	e.Reset()
 	if _, err := e.RunChecked(input); err != nil {

@@ -136,6 +136,7 @@ type Engine struct {
 	gov             *guard.Governor
 	prog            *telemetry.ProgressTracker
 	rec             *telemetry.FlightRecorder
+	ckpt            sim.Checkpointer
 
 	led             *attr.Ledger
 	ledMark         int64
@@ -421,7 +422,7 @@ func (e *Engine) Run(input []byte) sim.Stats {
 // sticky, so a tripped engine stays tripped at every later boundary. With
 // no governor, progress tracker, or recorder attached it is exactly Run.
 func (e *Engine) RunChecked(input []byte) (sim.Stats, error) {
-	if e.gov == nil && e.prog == nil && e.rec == nil {
+	if e.gov == nil && e.prog == nil && e.rec == nil && e.ckpt == nil {
 		return e.Run(input), nil
 	}
 	var err error
@@ -446,6 +447,11 @@ func (e *Engine) RunChecked(input []byte) (sim.Stats, error) {
 		}
 		if e.led != nil {
 			e.flushLedger()
+		}
+		if e.ckpt != nil {
+			if err = e.ckpt.Boundary(n); err != nil {
+				break
+			}
 		}
 		if err = e.gov.CheckActive(fl); err != nil {
 			break
@@ -545,6 +551,23 @@ func (e *Engine) SetProgress(t *telemetry.ProgressTracker) { e.prog = t }
 
 // SetRecorder attaches a flight recorder (nil detaches).
 func (e *Engine) SetRecorder(r *telemetry.FlightRecorder) { e.rec = r }
+
+// SetCheckpointer attaches a durable-checkpoint hook (nil detaches):
+// RunChecked offers it the stream after every chunk, like sim.
+func (e *Engine) SetCheckpointer(c sim.Checkpointer) { e.ckpt = c }
+
+// FlushTelemetry publishes statistics and ledger bytes accumulated since
+// the last flush, so a mid-stream snapshot (checkpoint save) reflects
+// every byte scanned so far. The residual engine's counters fold into
+// the combined flush, exactly as at run end.
+func (e *Engine) FlushTelemetry() {
+	if e.reg != nil {
+		e.flushStats()
+	}
+	if e.led != nil {
+		e.flushLedger()
+	}
+}
 
 // SetRegistry attaches a metrics registry (nil detaches). Combined run
 // statistics flush to the same sim.* counters the NFA engine publishes —
@@ -718,6 +741,26 @@ func (e *Engine) RestoreState(s *sim.StreamState) {
 		e.residual.RestoreState(&rs)
 	}
 	e.offset = s.Offset
+}
+
+// CaptureState snapshots the engine between Run calls in RestoreState's
+// encoding: FrontierSnapshot (confirm + residual frontiers plus the
+// matcher-state sentinel) and the residual engine's counter snapshots
+// translated to whole-automaton IDs. The snapshot shares no storage with
+// the engine, and restoring it into a fresh engine continues the stream
+// with identical reports and stats.
+func (e *Engine) CaptureState() *sim.StreamState {
+	s := &sim.StreamState{Offset: e.offset, Frontier: e.FrontierSnapshot()}
+	if e.residual != nil {
+		// residualInv is ascending in whole-automaton IDs, so the sorted
+		// local counters translate to sorted global counters.
+		for _, c := range e.residual.CaptureState().Counters {
+			s.Counters = append(s.Counters, sim.CounterSnapshot{
+				ID: e.residualInv[c.ID], Value: c.Value, Latched: c.Latched,
+			})
+		}
+	}
+	return s
 }
 
 // extractAnchor finds the component's literal prefix: the component must

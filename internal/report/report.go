@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"automatazoo/internal/atomicio"
 	"automatazoo/internal/attr"
 	"automatazoo/internal/telemetry"
 )
@@ -103,17 +104,11 @@ func (m *Manifest) WriteJSON(w io.Writer) error {
 	return enc.Encode(m)
 }
 
-// WriteFile writes the manifest to path (0644, truncating).
+// WriteFile writes the manifest to path atomically (write-temp + fsync +
+// rename): a crash mid-write leaves the previous manifest or none, never
+// a truncated-but-parseable one.
 func (m *Manifest) WriteFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	err = m.WriteJSON(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return atomicio.WriteFile(path, m.WriteJSON)
 }
 
 // ArtifactName returns the conventional artifact filename for a label:

@@ -202,6 +202,19 @@ type Options struct {
 	// identical stats and report streams over identical inputs, or the
 	// stitch's byte-identity guarantee breaks.
 	NewEngine func(*automata.Automaton) (Engine, error)
+	// Master, if non-nil, is used as the master engine instead of a
+	// factory-built one. The checkpointed scan driver (internal/ckpt)
+	// passes its warm, mid-stream engine here so consecutive chunks of one
+	// stream continue the same logical scan; the runner attaches the
+	// Options hooks to it exactly as it would to a fresh engine, and does
+	// NOT reset it — its frontier and offset are the chunk's entry state.
+	Master Engine
+	// BaseOffset is the absolute stream offset of input[0]. Speculative
+	// warmups and stitch restores position engines at BaseOffset-relative
+	// absolute offsets, so report offsets stay stream-absolute when the
+	// runner scans one chunk of a longer stream. 0 (the whole-stream case)
+	// is the historical behavior.
+	BaseOffset int64
 }
 
 // Stitch counts the stitch outcomes of one segmented run — the
@@ -324,11 +337,15 @@ func NewRunner(a *automata.Automaton, input []byte, opts Options) (*Runner, erro
 	if newEngine == nil {
 		newEngine = func(a *automata.Automaton) (Engine, error) { return sim.New(a), nil }
 	}
-	m, err := newEngine(a)
-	if err != nil {
-		return nil, err
+	if opts.Master != nil {
+		r.master = opts.Master
+	} else {
+		m, err := newEngine(a)
+		if err != nil {
+			return nil, err
+		}
+		r.master = m
 	}
-	r.master = m
 	r.master.SetRegistry(opts.Registry)
 	r.master.SetTracer(opts.Tracer)
 	r.master.SetGovernor(opts.Governor)
@@ -433,7 +450,7 @@ func (r *Runner) speculate(i int) error {
 	// stream bytes, already charged once by whichever engine owns them —
 	// but the governor still gets a trip/fault checkpoint per chunk so a
 	// tripped run unwinds speculative workers too.
-	e.SetOffset(ws)
+	e.SetOffset(r.opts.BaseOffset + ws)
 	for off := ws; off < lo; {
 		end := off + warmChunk
 		if end > lo {
@@ -512,7 +529,7 @@ func (r *Runner) Finish(phase1Err error) (Result, error) {
 			// the master to the segment's exit state.
 			r.total = addStats(r.total, s.stats)
 			r.perSeg[i] = s.reports
-			r.master.RestoreState(&sim.StreamState{Offset: r.bounds[i+1], Frontier: s.exit})
+			r.master.RestoreState(&sim.StreamState{Offset: r.opts.BaseOffset + r.bounds[i+1], Frontier: s.exit})
 			if s.led != nil {
 				s.led.Commit()
 			}

@@ -4,8 +4,9 @@ import "testing"
 
 // TestDisabledLiveTelemetryZeroAllocs guards the checked path with the
 // live-ops surface fully disabled: with no governor, progress tracker,
-// flight recorder, or attribution ledger attached, RunChecked must reduce
-// to the exact Run fast path and stay allocation-free once warm.
+// flight recorder, attribution ledger, or checkpointer attached,
+// RunChecked must reduce to the exact Run fast path and stay
+// allocation-free once warm.
 func TestDisabledLiveTelemetryZeroAllocs(t *testing.T) {
 	a := literalAutomaton("abc", 1)
 	e := New(a)
@@ -13,6 +14,7 @@ func TestDisabledLiveTelemetryZeroAllocs(t *testing.T) {
 	e.SetProgress(nil)
 	e.SetRecorder(nil)
 	e.SetLedger(nil)
+	e.SetCheckpointer(nil)
 	input := []byte("xxabcxxabcabcxaxbxcabxcabc")
 	e.Reset()
 	if _, err := e.RunChecked(input); err != nil {

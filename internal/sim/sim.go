@@ -183,6 +183,21 @@ type Engine struct {
 	// Symbols watermark of the last byte flush.
 	led     *attr.Ledger
 	ledMark int64
+
+	// ckpt, when attached, is offered the stream at every chunk boundary
+	// so it can persist a checkpoint (internal/ckpt). Like gov/prog/rec it
+	// is outside telemetryOn and nil-guarded, so the disabled path stays
+	// allocation-free (asserted by the allocguard test).
+	ckpt Checkpointer
+}
+
+// Checkpointer is the durable-checkpoint hook: RunChecked calls Boundary
+// with the chunk's byte count after each chunk completes, and the
+// implementation decides whether the accumulated interval warrants a
+// save (capturing the engine via CaptureState). A returned error stops
+// the run like a governor trip.
+type Checkpointer interface {
+	Boundary(n int64) error
 }
 
 // Options tune the engine's internal strategies; the zero value is the
@@ -309,6 +324,24 @@ func (e *Engine) SetProgress(t *telemetry.ProgressTracker) { e.prog = t }
 // SetRecorder attaches a flight recorder (nil detaches): RunChecked logs
 // chunk budget checks and budget trips for postmortem dumps.
 func (e *Engine) SetRecorder(r *telemetry.FlightRecorder) { e.rec = r }
+
+// SetCheckpointer attaches a durable-checkpoint hook (nil detaches):
+// RunChecked offers it the stream after every chunk. Bare Run calls skip
+// it, like the governor.
+func (e *Engine) SetCheckpointer(c Checkpointer) { e.ckpt = c }
+
+// FlushTelemetry publishes statistics and ledger bytes accumulated since
+// the last flush to the attached registry and ledger. RunChecked flushes
+// on its own at run end; the checkpoint saver calls this mid-stream so a
+// snapshot of the registry/collector reflects every byte scanned so far.
+func (e *Engine) FlushTelemetry() {
+	if e.reg != nil {
+		e.flushStats()
+	}
+	if e.led != nil {
+		e.flushLedger()
+	}
+}
 
 // SetLedger attaches a cost-attribution ledger (nil detaches). The
 // ledger accumulates per-component frontier work, reports, and scanned
@@ -446,7 +479,7 @@ const govChunk = 4096
 // recorder. With no governor, progress, or recorder attached it is
 // exactly Run.
 func (e *Engine) RunChecked(input []byte) (Stats, error) {
-	if e.gov == nil && e.prog == nil && e.rec == nil {
+	if e.gov == nil && e.prog == nil && e.rec == nil && e.ckpt == nil {
 		return e.Run(input), nil
 	}
 	sp := e.spans.Start("sim.run")
@@ -471,6 +504,11 @@ func (e *Engine) RunChecked(input []byte) (Stats, error) {
 		}
 		if e.led != nil {
 			e.flushLedger()
+		}
+		if e.ckpt != nil {
+			if err = e.ckpt.Boundary(n); err != nil {
+				break
+			}
 		}
 		if err = e.gov.CheckActive(int64(len(e.frontier))); err != nil {
 			break

@@ -28,6 +28,10 @@ const (
 	// RecSegment: a segment-parallel scan event (name = site or outcome —
 	// "commit"/"replay", comp = segment index, val = segment bytes).
 	RecSegment
+	// RecCheckpoint: a checkpoint lifecycle event (name = outcome —
+	// "save"/"retry"/"disable"/"restore"/"fallback", val = stream offset
+	// or attempt count).
+	RecCheckpoint
 )
 
 // String returns the NDJSON wire name of the event kind.
@@ -49,6 +53,8 @@ func (k RecKind) String() string {
 		return "stall"
 	case RecSegment:
 		return "segment"
+	case RecCheckpoint:
+		return "checkpoint"
 	}
 	return "unknown"
 }

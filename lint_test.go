@@ -127,6 +127,99 @@ func TestNoDirectTimeNowInTelemetry(t *testing.T) {
 	}
 }
 
+// bannedFileOps scans parsed files for direct file mutations that bypass
+// the internal/atomicio crash-safety helper: os.Rename always, and the
+// whole-file write constructors (os.Create / os.WriteFile / os.OpenFile)
+// when writes is true. Shared by TestAtomicArtifactWrites and its canary.
+func bannedFileOps(fset *token.FileSet, f *ast.File, writes bool) []string {
+	var violations []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != "os" {
+			return true
+		}
+		fn := sel.Sel.Name
+		if fn == "Rename" || (writes && (fn == "Create" || fn == "WriteFile" || fn == "OpenFile")) {
+			violations = append(violations, fset.Position(call.Pos()).String()+": os."+fn)
+		}
+		return true
+	})
+	return violations
+}
+
+// Run artifacts — checkpoints, report manifests, postmortems, metrics
+// snapshots — must be written through internal/atomicio (write-temp +
+// fsync + rename), so a crash can never leave a torn-but-parseable file.
+// Enforcement: os.Rename is banned everywhere outside internal/atomicio
+// (a raw rename is exactly the non-durable half of the atomic pattern),
+// and the artifact-writing packages (internal/report, internal/ckpt) may
+// not open files for writing at all. Streaming writers — the NDJSON
+// trace in cmd/azoo, the mnrl/dot export streams — are exempt by scope:
+// they write incrementally by design and are not recovery inputs.
+func TestAtomicArtifactWrites(t *testing.T) {
+	// Canary: the detector must actually catch both op classes, or the
+	// walk below proves nothing.
+	fset := token.NewFileSet()
+	canary, err := parser.ParseFile(fset, "canary.go", `package canary
+import "os"
+func bad() {
+	os.Rename("a", "b")
+	os.Create("c")
+	os.WriteFile("d", nil, 0o600)
+}`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bannedFileOps(fset, canary, true); len(got) != 3 {
+		t.Fatalf("canary: detector found %d of 3 planted violations: %v", len(got), got)
+	}
+	if got := bannedFileOps(fset, canary, false); len(got) != 1 {
+		t.Fatalf("canary: rename-only detector found %d of 1 planted violations: %v", len(got), got)
+	}
+
+	writePackages := map[string]bool{
+		"internal/report": true,
+		"internal/ckpt":   true,
+	}
+	var violations []string
+	err = filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == "examples" || path == "internal/atomicio" ||
+				strings.HasPrefix(name, ".") && name != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		violations = append(violations, bannedFileOps(fset, f, writePackages[filepath.Dir(path)])...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Errorf("raw file mutation outside internal/atomicio (route it through the atomic-write helper): %s", v)
+	}
+}
+
 // The attr package's determinism contract (see its package comment) is
 // that every output path — Fold, WriteText, Publish, provenance labels —
 // iterates slices in index order, never Go maps, whose iteration order is
